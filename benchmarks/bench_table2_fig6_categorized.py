@@ -1,0 +1,79 @@
+"""Table II + Figure 6: categorized instruction counts and distribution of
+miniFE's ``cg_solve``.
+
+The paper reports seven instruction categories for cg_solve at production
+scale, and Figure 6 shows their distribution with the SSE2 vector
+instructions called out as the source of FP work.  We evaluate the
+*parametric* static model at the paper's 30x30x30 problem — no execution
+needed, which is exactly Mira's selling point.
+"""
+
+from repro.core import instruction_distribution
+
+from _common import (analyze_workload, fmt_sci, minife_env, rows_to_text,
+                     save_table, user_row_nnz_estimate)
+
+PAPER_TABLE2 = {
+    "Integer arithmetic instruction": 6.8e8,
+    "Integer control transfer instruction": 2.26e8,
+    "Integer data transfer instruction": 2.42e9,
+    "SSE2 data movement instruction": 3.67e8,
+    "SSE2 packed arithmetic instruction": 1.93e8,
+    "Misc Instruction": 2.77e8,
+    "64-bit mode instruction": 2.59e8,
+}
+
+NX = 30
+MAX_ITER = 200
+
+
+def build():
+    model = analyze_workload("minife", {"NX": NX, "CG_MAX_ITER": MAX_ITER})
+    env = minife_env(model, "cg_solve", NX, MAX_ITER,
+                     user_row_nnz_estimate(NX))
+    return model, env
+
+
+def test_table2_categorized_counts(benchmark):
+    model, env = build()
+    metrics = benchmark(lambda: model.evaluate("cg_solve", env))
+    counts = metrics.as_dict()
+    rows = []
+    for cat, paper_v in PAPER_TABLE2.items():
+        ours = counts.get(cat, 0)
+        rows.append([cat, fmt_sci(ours), fmt_sci(paper_v)])
+    extra = sorted(set(counts) - set(PAPER_TABLE2))
+    for cat in extra:
+        rows.append([cat, fmt_sci(counts[cat]), "-"])
+    text = rows_to_text(
+        f"Table II — Categorized instruction counts of cg_solve "
+        f"(grid {NX}^3, {MAX_ITER} CG iterations)",
+        ["Category", "Mira (ours)", "Paper"],
+        rows,
+        note="Absolute numbers differ (different compiler/iteration count); "
+             "the reproduced shape: integer data transfer dominates, SSE2 "
+             "packed arithmetic and data movement are the same order, "
+             "1E8-1E9 scale.")
+    save_table("table2_categorized", text)
+
+    # Shape assertions: data movement dominates; SSE2 categories same order
+    assert counts["Integer data transfer instruction"] == max(counts.values())
+    sse2a = counts["SSE2 packed arithmetic instruction"]
+    sse2d = counts["SSE2 data movement instruction"]
+    assert 0.1 < sse2a / sse2d < 10
+
+
+def test_fig6_instruction_distribution(benchmark):
+    model, env = build()
+    metrics = model.evaluate("cg_solve", env)
+    dist = benchmark(lambda: instruction_distribution(metrics))
+    rows = [[cat, f"{share * 100:.1f}%"] for cat, share in dist.items()]
+    text = rows_to_text(
+        "Figure 6 — Instruction distribution of cg_solve (pie chart data)",
+        ["Category", "Share"],
+        rows,
+        note="The separated slice in the paper's pie is the SSE2 packed "
+             "arithmetic share — the function's floating-point work.")
+    save_table("fig6_distribution", text)
+    assert abs(sum(dist.values()) - 1.0) < 1e-9
+    assert dist["SSE2 packed arithmetic instruction"] > 0.02

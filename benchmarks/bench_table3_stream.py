@@ -1,0 +1,71 @@
+"""Table III: FPI counts in the STREAM benchmark — TAU vs Mira vs error.
+
+The paper measures at 2M/50M/100M elements on real hardware; our dynamic
+substrate is an interpreter, so validation runs at simulator-feasible sizes
+(scaled-size policy, DESIGN.md §4) while the parametric static model is
+*additionally* evaluated at the paper's sizes to show it reaches them for
+free.  The reproduced result is the error column: sub-1% agreement with
+TAU ≥ Mira (library-internal FP the static model cannot see).
+"""
+
+import pytest
+
+from _common import (analyze_workload, error_pct, fmt_sci, profile_workload,
+                     rows_to_text, save_table)
+
+DYNAMIC_SIZES = [20000, 50000, 100000]
+PAPER_SIZES = [2_000_000, 50_000_000, 100_000_000]
+PAPER_ROWS = {2_000_000: (8.239e7, 8.20e7, 0.47),
+              50_000_000: (4.108e9, 4.100e9, 0.19),
+              100_000_000: (2.055e10, 2.050e10, 0.24)}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for n in DYNAMIC_SIZES:
+        model = analyze_workload("stream", {"STREAM_ARRAY_SIZE": n})
+        static_fp = model.fp_instructions("main")
+        report = profile_workload(model)
+        tau_fp = report.fp_ins("main")
+        rows.append((n, tau_fp, static_fp, error_pct(tau_fp, static_fp)))
+    return rows
+
+
+def test_table3_stream_fpi(benchmark, measured):
+    # the timed kernel: evaluating the parametric model (cheap, repeatable)
+    model = analyze_workload("stream",
+                             {"STREAM_ARRAY_SIZE": DYNAMIC_SIZES[-1]})
+    benchmark(lambda: model.fp_instructions("main"))
+
+    rows = [[f"{n:,}", fmt_sci(tau), fmt_sci(mira), f"{err:.2f}%"]
+            for n, tau, mira, err in measured]
+    rows.append(["----", "----", "----", "----"])
+    for n in PAPER_SIZES:
+        t, m, e = PAPER_ROWS[n]
+        rows.append([f"paper {n:,}", fmt_sci(t), fmt_sci(m), f"{e}%"])
+    text = rows_to_text(
+        "Table III — FPI counts in STREAM (TAU vs Mira)",
+        ["Array size", "TAU", "Mira", "Error"],
+        rows,
+        note="Top rows: measured on the dynamic substrate at scaled sizes. "
+             "Bottom rows: the paper's hardware numbers for reference. "
+             "Reproduced shape: sub-1% error, TAU >= Mira.")
+    save_table("table3_stream", text)
+
+    for n, tau, mira, err in measured:
+        assert err < 1.0, f"STREAM error at {n}: {err}%"
+        assert tau >= mira  # library internals only add to the dynamic side
+
+
+def test_stream_static_model_reaches_paper_sizes(benchmark, measured):
+    """The same parametric model evaluates instantly at 100M elements."""
+    model = analyze_workload("stream", {"STREAM_ARRAY_SIZE": 100_000_000})
+    fp = benchmark(lambda: model.fp_instructions("main"))
+    # 4 kernel FP/element/rep × 10 reps + 6 FP/element validation
+    # + 120 FP of scalar expected-value recurrence in check_results
+    assert fp == 46 * 100_000_000 + 120
+    rows = [[f"{n:,}", fmt_sci(46 * n)] for n in PAPER_SIZES]
+    save_table("table3_stream_paper_scale", rows_to_text(
+        "STREAM static model at paper sizes (no execution required)",
+        ["Array size", "Mira FPI"], rows))

@@ -1,0 +1,80 @@
+"""Table V: FPI counts in miniFE per function — TAU vs Mira vs error.
+
+The paper reports waxpby / matvec_std::operator() / cg_solve at two grid
+sizes with errors growing from 0.011% to 3.08%, Mira undercounting.  The
+error source is the data-dependent sparse-row loop: the user annotates the
+average row length (``iters:row_nnz``), and the integer estimate loses the
+fractional part of the true average — more at larger grids.
+"""
+
+import pytest
+
+from _common import (analyze_workload, error_pct, fmt_sci, minife_env,
+                     profile_workload, rows_to_text, save_table,
+                     user_row_nnz_estimate)
+
+CONFIGS = [(9, 30), (12, 30)]   # (NX, CG iterations)
+PAPER_ROWS = [
+    ("30x30x30", "waxpby", 8.95e4, 8.94e4, 0.011),
+    ("30x30x30", "matvec_std::operator()", 1.54e6, 1.52e6, 1.3),
+    ("30x30x30", "cg_solve", 1.966e8, 1.925e8, 2.09),
+    ("35x40x45", "waxpby", 2.039e5, 2.037e5, 0.098),
+    ("35x40x45", "matvec_std::operator()", 3.57e6, 3.46e6, 3.08),
+    ("35x40x45", "cg_solve", 7.621e8, 7.386e8, 3.08),
+]
+
+FUNCTIONS = [("waxpby", "waxpby"),
+             ("matvec_std::operator()", "matvec_std::operator()"),
+             ("cg_solve", "cg_solve")]
+
+
+@pytest.fixture(scope="module")
+def measured():
+    out = []
+    for nx, iters in CONFIGS:
+        model = analyze_workload("minife", {"NX": nx, "CG_MAX_ITER": iters})
+        report = profile_workload(model)
+        row_nnz = user_row_nnz_estimate(nx)
+        for label, qname in FUNCTIONS:
+            env = minife_env(model, qname, nx, iters, row_nnz)
+            static_fp = model.fp_instructions(qname, env)
+            tau_fp = report.fp_ins(qname)
+            out.append((f"{nx}x{nx}x{nx}", label, tau_fp, static_fp,
+                        error_pct(tau_fp, static_fp)))
+    return out
+
+
+def test_table5_minife_fpi(benchmark, measured):
+    nx, iters = CONFIGS[0]
+    model = analyze_workload("minife", {"NX": nx, "CG_MAX_ITER": iters})
+    env = minife_env(model, "cg_solve", nx, iters, user_row_nnz_estimate(nx))
+    benchmark(lambda: model.fp_instructions("cg_solve", env))
+
+    rows = [[size, fn, fmt_sci(tau), fmt_sci(mira), f"{err:.2f}%"]
+            for size, fn, tau, mira, err in measured]
+    rows.append(["----", "----", "----", "----", "----"])
+    for size, fn, t, m, e in PAPER_ROWS:
+        rows.append([f"paper {size}", fn, fmt_sci(t), fmt_sci(m), f"{e}%"])
+    text = rows_to_text(
+        "Table V — FPI counts in miniFE (TAU vs Mira, per invocation)",
+        ["size", "Function", "TAU", "Mira", "Error"],
+        rows,
+        note="Reproduced shape: waxpby exact (fully analyzable), matvec and "
+             "cg_solve a few percent off with Mira undercounting, error "
+             "growing with problem size (annotation vs data-dependent rows).")
+    save_table("table5_minife", text)
+
+    by_fn = {}
+    for size, fn, tau, mira, err in measured:
+        by_fn.setdefault(fn, []).append((tau, mira, err))
+    # waxpby is exactly analyzable
+    for tau, mira, err in by_fn["waxpby"]:
+        assert err < 0.1
+    # matvec/cg_solve: paper's band (under 8%), undercounting
+    for fn in ("matvec_std::operator()", "cg_solve"):
+        for tau, mira, err in by_fn[fn]:
+            assert 0.0 < err < 8.0, f"{fn}: {err}%"
+            assert mira < tau, f"{fn} should undercount"
+    # error grows with size for matvec (paper: 1.3% -> 3.08%)
+    errs = [e for _, _, e in by_fn["matvec_std::operator()"]]
+    assert errs[1] > errs[0]

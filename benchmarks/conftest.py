@@ -1,0 +1,6 @@
+"""Make the shared _common helpers importable from any invocation dir."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,55 @@
+"""DGEMM study: arithmetic intensity, roofline position, optimization
+levels (paper IV-D.2 "Prediction" + the source-vs-binary ablation).
+
+Shows how the architecture description file turns categorized instruction
+counts into derived predictions, and how the model tracks the compiler:
+the same source has different instruction mixes at -O0/-O2/-O3, which a
+source-only tool (PBound baseline) cannot see.
+
+Run:  python examples/dgemm_roofline.py
+"""
+
+from repro import (Mira, PBoundAnalyzer, arithmetic_intensity,
+                   roofline_estimate)
+from repro.workloads import get_source
+
+
+def main() -> None:
+    n = 64
+    defines = {"DGEMM_N": str(n), "DGEMM_NREP": "1"}
+
+    print(f"== DGEMM kernel (n={n}) across optimization levels ==")
+    print(f"{'opt':>4} {'total':>12} {'FP':>10} {'AI':>7}  roofline")
+    for opt in (0, 1, 2, 3):
+        model = Mira(opt_level=opt).analyze(get_source("dgemm"),
+                                            predefined=defines)
+        m = model.evaluate("dgemm_kernel", {"n": n})
+        ai = arithmetic_intensity(m, model.arch)
+        est = roofline_estimate(m, model.arch)
+        fp = m.fp_instructions(model.arch.fp_arith_categories)
+        print(f"  O{opt} {m.total():>12,} {fp:>10,} {ai:>7.3f}  {est.bound}")
+
+    print("\n== source-only baseline (PBound) vs Mira at -O2 ==")
+    model = Mira(opt_level=2).analyze(get_source("dgemm"), predefined=defines)
+    pb = PBoundAnalyzer(model.processed.tu)
+    pbc = pb.analyze_function("dgemm_kernel").evaluate({"n": n})
+    m = model.evaluate("dgemm_kernel", {"n": n}).as_dict()
+    print(f"  PBound: flops={pbc['flops']:,} loads+stores="
+          f"{pbc['loads'] + pbc['stores']:,} int_ops={pbc['int_ops']:,}")
+    mira_mov = (m.get("Integer data transfer instruction", 0)
+                + m.get("SSE2 data movement instruction", 0))
+    print(f"  Mira:   flops={sum(m.get(c, 0) for c in model.arch.fp_arith_categories):,} "
+          f"data movement={mira_mov:,} "
+          f"int_arith={m.get('Integer arithmetic instruction', 0):,}")
+    print("  -> PBound overcounts the index arithmetic and scalar traffic "
+          "the optimizer eliminated (the paper's accuracy argument).")
+
+    print("\n== paper-scale predictions from the same model ==")
+    for size in (256, 512, 1024):
+        fp = model.fp_instructions("dgemm_kernel", {"n": size})
+        print(f"  n={size:>5}: FPI = {fp:.4g}  (2n^3 + n^2 = "
+              f"{2 * size ** 3 + size ** 2:.4g})")
+
+
+if __name__ == "__main__":
+    main()

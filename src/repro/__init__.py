@@ -1,0 +1,37 @@
+"""Mira: a framework for static performance analysis.
+
+A from-scratch Python reproduction of Meng & Norris, *Mira: A Framework for
+Static Performance Analysis*, CLUSTER 2017 (arXiv:1705.07575) — including
+every substrate the paper builds on: a C/C++ subset frontend, an optimizing
+compiler backend to a synthetic x86-64 ISA with an ELF-like object format
+and DWARF-style line tables, a byte-level disassembler, a polyhedral
+iteration-domain engine over an exact symbolic algebra, and a dynamic
+execution/profiling substrate standing in for TAU/PAPI validation runs.
+
+Quick start::
+
+    from repro import Mira
+
+    model = Mira().analyze(open("kernel.c").read())
+    print(model.evaluate("main").as_dict())       # categorized counts
+    print(model.python_source())                  # the generated model
+"""
+
+from .baselines.pbound import PBoundAnalyzer, PBoundCounts
+from .compiler.arch import ArchDescription, default_arch, load_arch
+from .core import (
+    Metrics, Mira, MiraModel, arithmetic_intensity, instruction_distribution,
+    loop_coverage_source, roofline_estimate,
+)
+from .dynamic import TauProfiler, TauReport
+from .errors import MiraError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchDescription", "Metrics", "Mira", "MiraError", "MiraModel",
+    "PBoundAnalyzer", "PBoundCounts", "TauProfiler", "TauReport",
+    "__version__", "arithmetic_intensity", "default_arch",
+    "instruction_distribution", "load_arch", "loop_coverage_source",
+    "roofline_estimate",
+]

@@ -1,0 +1,5 @@
+"""Baseline analyzers the paper compares against (PBound)."""
+
+from .pbound import PBoundAnalyzer, PBoundCounts
+
+__all__ = ["PBoundAnalyzer", "PBoundCounts"]

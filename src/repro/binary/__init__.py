@@ -1,0 +1,14 @@
+"""Binary-side tools: disassembler, DWARF line-table reader, binary AST.
+
+Substitutes for the ROSE binary frontend (DESIGN.md §2): consumes only
+object-file *bytes*.
+"""
+
+from .ast_nodes import AsmFunction, AsmInstruction, AsmProgram
+from .disasm import disassemble, format_listing
+from .dwarf_reader import LineTable, decode_line_program
+
+__all__ = [
+    "AsmFunction", "AsmInstruction", "AsmProgram", "LineTable",
+    "decode_line_program", "disassemble", "format_listing",
+]

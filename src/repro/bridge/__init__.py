@@ -1,0 +1,9 @@
+"""Source↔binary association via line numbers (paper §III-A.2)."""
+
+from .linemap import CostCenter, FunctionBridge, build_bridge
+from .metrics import CategoryVector, NCAT, vector_for_center, vector_for_mnemonics
+
+__all__ = [
+    "CategoryVector", "CostCenter", "FunctionBridge", "NCAT", "build_bridge",
+    "vector_for_center", "vector_for_mnemonics",
+]

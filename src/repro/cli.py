@@ -1,0 +1,183 @@
+"""Command-line interface: the ``mira`` tool.
+
+Subcommands::
+
+    mira analyze FILE [-o model.py] [--opt N] [--arch arya|frankenstein|FILE]
+        run the full pipeline, write/print the generated Python model
+    mira eval FILE FUNCTION [k=v ...]
+        analyze and evaluate one function's model with parameter bindings
+    mira disasm FILE
+        compile and print the objdump-style listing
+    mira coverage FILE [FILE ...]
+        loop-coverage report (paper Table I columns)
+    mira profile FILE [--entry main]
+        run under the dynamic substrate (TAU analog), print category counts
+    mira arch-template
+        print a JSON architecture description template to customize
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .binary import disassemble, format_listing
+from .compiler.arch import default_arch, load_arch
+from .core import Mira, loop_coverage_source
+from .dynamic import TauProfiler
+
+__all__ = ["main"]
+
+
+def _arch_from_flag(value: str | None):
+    if value is None:
+        return default_arch()
+    if value in ("arya", "frankenstein", "generic"):
+        return default_arch(value)
+    if os.path.exists(value):
+        return load_arch(value)
+    raise SystemExit(f"unknown architecture {value!r} (not a preset or file)")
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _parse_defines(items: list[str]) -> dict:
+    out = {}
+    for item in items or []:
+        if "=" in item:
+            k, v = item.split("=", 1)
+            out[k] = v
+        else:
+            out[item] = "1"
+    return out
+
+
+def cmd_analyze(args) -> int:
+    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
+    model = mira.analyze_file(args.file,
+                              predefined=_parse_defines(args.define))
+    text = model.python_source()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"model written to {args.output}")
+    else:
+        print(text)
+    for w in model.warnings():
+        print(f"warning: {w}", file=sys.stderr)
+    return 0
+
+
+def cmd_eval(args) -> int:
+    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
+    model = mira.analyze_file(args.file,
+                              predefined=_parse_defines(args.define))
+    env = {}
+    for b in args.bindings:
+        k, v = b.split("=", 1)
+        env[k] = int(v)
+    metrics = model.evaluate(args.function, env)
+    print(f"# {args.function} with {env}")
+    for cat, n in sorted(metrics.as_dict().items(), key=lambda kv: -kv[1]):
+        print(f"{n:>16}  {cat}")
+    print(f"{metrics.total():>16}  TOTAL")
+    fp = metrics.fp_instructions(model.arch.fp_arith_categories)
+    print(f"{fp:>16}  FP_INS")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from .compiler import compile_tu
+    from .frontend import parse_file
+
+    tu = parse_file(args.file, predefined=_parse_defines(args.define))
+    obj = compile_tu(tu, opt_level=args.opt)
+    print(format_listing(disassemble(obj.to_bytes())))
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    print(f"{'Application':<14}{'Loops':>7}{'Stmts':>8}{'InLoop':>8}{'Pct':>6}")
+    for path in args.files:
+        rep = loop_coverage_source(_read(path),
+                                   os.path.basename(path).rsplit(".", 1)[0])
+        print(f"{rep.name:<14}{rep.loops:>7}{rep.statements:>8}"
+              f"{rep.in_loop_statements:>8}{rep.percentage:>5.0f}%")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
+    model = mira.analyze_file(args.file,
+                              predefined=_parse_defines(args.define))
+    report = TauProfiler(model.processed).profile(args.entry)
+    prof = report.function(args.entry)
+    print(f"# dynamic profile of {args.entry} ({prof.calls} call(s))")
+    for cat, n in sorted(prof.categories.items(), key=lambda kv: -kv[1]):
+        print(f"{n:>16}  {cat}")
+    print(f"{sum(prof.categories.values()):>16}  TOTAL")
+    print(f"{report.fp_ins(args.entry):>16}  PAPI_FP_INS")
+    return 0
+
+
+def cmd_arch_template(args) -> int:
+    print(default_arch().to_json())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="mira",
+        description="Mira: static performance analysis "
+                    "(CLUSTER'17 reproduction)")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    def common(p):
+        p.add_argument("--opt", type=int, default=2,
+                       help="optimization level 0-3 (default 2)")
+        p.add_argument("--arch", default=None,
+                       help="arya | frankenstein | path to arch JSON")
+        p.add_argument("-D", "--define", action="append", default=[],
+                       metavar="NAME=VAL", help="predefine a macro")
+
+    p = sub.add_parser("analyze", help="generate the Python model")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("eval", help="evaluate one function's model")
+    p.add_argument("file")
+    p.add_argument("function")
+    p.add_argument("bindings", nargs="*", metavar="param=value")
+    common(p)
+    p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser("disasm", help="print the compiled listing")
+    p.add_argument("file")
+    common(p)
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser("coverage", help="loop-coverage report (Table I)")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(fn=cmd_coverage)
+
+    p = sub.add_parser("profile", help="dynamic profile (TAU analog)")
+    p.add_argument("file")
+    p.add_argument("--entry", default="main")
+    common(p)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("arch-template", help="print an arch JSON template")
+    p.set_defaults(fn=cmd_arch_template)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

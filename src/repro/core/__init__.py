@@ -1,0 +1,27 @@
+"""Mira proper: input processing, metric generation, model generation.
+
+The paper's three-stage workflow (Fig. 1): Input Processor → Metric
+Generator → Model Generator, plus derived-metric analysis and the
+loop-coverage survey tool.
+"""
+
+from .analysis import (RooflineEstimate, arithmetic_intensity,
+                       instruction_distribution, roofline_estimate)
+from .coverage import CoverageReport, loop_coverage, loop_coverage_source
+from .input_processor import InputProcessor, ProcessedInput
+from .metric_generator import (CallTerm, FunctionModel, GeneratorOptions,
+                               MetricGenerator, MetricTerm)
+from .mira import Mira, MiraModel
+from .model_generator import (compile_model, evaluate_model,
+                              generate_model_source, model_entry_name)
+from .model_runtime import Metrics, handle_function_call
+
+__all__ = [
+    "CallTerm", "CoverageReport", "FunctionModel", "GeneratorOptions",
+    "InputProcessor", "Metrics", "MetricGenerator", "MetricTerm", "Mira",
+    "MiraModel", "ProcessedInput", "RooflineEstimate",
+    "arithmetic_intensity", "compile_model", "evaluate_model",
+    "generate_model_source", "handle_function_call",
+    "instruction_distribution", "loop_coverage", "loop_coverage_source",
+    "model_entry_name", "roofline_estimate",
+]

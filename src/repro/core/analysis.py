@@ -1,0 +1,75 @@
+"""Derived-metric analysis on model outputs.
+
+Implements the paper's prediction use cases (§IV-D.2):
+
+* instruction-mix distribution (Fig. 6's pie chart, as shares),
+* instruction-based floating-point **arithmetic intensity** — the ratio of
+  SSE2 packed/scalar arithmetic to SSE2 data movement (0.53 for cg_solve in
+  the paper),
+* a simple roofline-style classification: compute- vs memory-bound given the
+  architecture description's machine balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.arch import ArchDescription
+from .model_runtime import Metrics
+
+__all__ = ["instruction_distribution", "arithmetic_intensity",
+           "RooflineEstimate", "roofline_estimate"]
+
+
+def instruction_distribution(metrics: Metrics) -> dict[str, float]:
+    """Category → share of total instructions (Fig. 6)."""
+    counts = metrics.as_dict()
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {cat: n / total for cat, n in
+            sorted(counts.items(), key=lambda kv: -kv[1])}
+
+
+def arithmetic_intensity(metrics: Metrics, arch: ArchDescription) -> float:
+    """Instruction-based FP arithmetic intensity (paper §IV-D.2):
+    FP arithmetic instructions / FP data-movement instructions."""
+    fp = metrics.fp_instructions(arch.fp_arith_categories)
+    mem = metrics.fp_instructions(arch.fp_data_categories)
+    if mem == 0:
+        return float("inf") if fp else 0.0
+    return fp / mem
+
+
+@dataclass
+class RooflineEstimate:
+    """A coarse roofline position derived from instruction counts."""
+
+    arithmetic_intensity: float
+    machine_balance: float      # FP ops per FP data movement at the ridge
+    bound: str                  # 'memory' | 'compute'
+
+    def __str__(self) -> str:
+        return (f"AI={self.arithmetic_intensity:.3f}, "
+                f"balance={self.machine_balance:.3f} → {self.bound}-bound")
+
+
+def roofline_estimate(metrics: Metrics, arch: ArchDescription,
+                      *, bytes_per_fp_mov: int = 8,
+                      peak_flops_per_cycle: float = 4.0,
+                      bytes_per_cycle: float = 8.0) -> RooflineEstimate:
+    """Classify the kernel against a simple machine balance.
+
+    The machine balance (in FP instructions per FP move) is
+    ``peak_flops_per_cycle / (bytes_per_cycle / bytes_per_fp_mov)``; vector
+    width from the arch description scales peak FLOPs.
+    """
+    width = max(1, arch.vector_bits // 64)
+    peak = peak_flops_per_cycle * width / 2
+    balance = peak / (bytes_per_cycle / bytes_per_fp_mov)
+    ai = arithmetic_intensity(metrics, arch)
+    return RooflineEstimate(
+        arithmetic_intensity=ai,
+        machine_balance=balance,
+        bound="compute" if ai >= balance else "memory",
+    )

@@ -1,0 +1,62 @@
+"""Input Processor (paper Fig. 1, first stage).
+
+"Its primary goal is to process source code and ELF object file inputs and
+build the corresponding ASTs": parses the source, compiles it to an object
+file, disassembles the object's *bytes* back into a binary AST, and builds
+the line-number bridge between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binary import AsmProgram, disassemble
+from ..bridge import FunctionBridge, build_bridge
+from ..compiler import ArchDescription, ObjectFile, compile_tu, default_arch
+from ..frontend import TranslationUnit, parse_file, parse_source
+
+__all__ = ["ProcessedInput", "InputProcessor"]
+
+
+@dataclass
+class ProcessedInput:
+    """Everything later stages need: both ASTs + the bridge."""
+
+    tu: TranslationUnit
+    obj: ObjectFile
+    program: AsmProgram
+    bridges: dict            # qualified name -> FunctionBridge
+    arch: ArchDescription
+    opt_level: int
+
+    def function_names(self) -> list[str]:
+        return [f.name for f in self.program.functions]
+
+
+class InputProcessor:
+    """Front end of the framework."""
+
+    def __init__(self, arch: ArchDescription | None = None,
+                 opt_level: int = 2) -> None:
+        self.arch = arch or default_arch()
+        self.opt_level = opt_level
+
+    def process_source(self, source: str, filename: str = "<input>",
+                       predefined: dict | None = None) -> ProcessedInput:
+        tu = parse_source(source, filename=filename, predefined=predefined)
+        return self.process_tu(tu)
+
+    def process_file(self, path: str,
+                     predefined: dict | None = None) -> ProcessedInput:
+        tu = parse_file(path, predefined=predefined)
+        return self.process_tu(tu)
+
+    def process_tu(self, tu: TranslationUnit) -> ProcessedInput:
+        obj = compile_tu(tu, opt_level=self.opt_level)
+        # Round-trip through bytes: the binary AST is built strictly from
+        # the object file, as in the paper.
+        program = disassemble(obj.to_bytes())
+        bridges = build_bridge(program)
+        return ProcessedInput(tu=tu, obj=obj, program=program,
+                              bridges=bridges, arch=self.arch,
+                              opt_level=self.opt_level)

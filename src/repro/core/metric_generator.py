@@ -1,0 +1,603 @@
+"""Metric generation (paper §III-B, §III-C).
+
+Combines the three ingredients into per-function parametric models:
+
+1. **binary cost centers** — per-(line, col) instruction category vectors
+   from the bridge,
+2. **iteration domains** — polyhedral loop/branch modeling with annotation
+   fallbacks,
+3. **call structure** — ``handle_function_call`` composition with
+   call-site-named parameters (the paper's ``y_16``).
+
+The generator performs the paper's two traversals: a bottom-up pass that
+collects each loop's SCoP pieces onto the loop head node (stored in
+``node.info``), and a top-down pass that pushes iteration-domain context into
+nested structures and emits one :class:`MetricTerm` per cost center.
+
+Execution-count semantics per cost center (matching both the lowered binary
+and the dynamic substrate):
+
+==================  ===========================================
+cost center          executions
+==================  ===========================================
+function frame       1 per call
+loop init            |enclosing domain|
+loop condition       |loop domain| + |enclosing domain|
+loop increment       |loop domain|
+body statement       |its enclosing domain| (× branch ratios)
+branch condition     |enclosing domain|
+==================  ===========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..bridge import CategoryVector, FunctionBridge, vector_for_center
+from ..compiler.arch import ArchDescription
+from ..errors import ModelError, PolyhedralError
+from ..frontend import ast_nodes as A
+from ..frontend.pragma import Annotation
+from ..polyhedral import (
+    LoopNest, NestLevel, ScopError, condition_to_constraints, extract_level,
+)
+from ..polyhedral.counting import count_nest
+from ..symbolic import Expr, Int, Sym, as_expr
+
+__all__ = ["MetricTerm", "CallTerm", "FunctionModel", "MetricGenerator",
+           "GeneratorOptions"]
+
+
+@dataclass
+class GeneratorOptions:
+    """Knobs for statically-undecidable cases."""
+
+    default_branch_ratio: float = 0.5
+    opt_level: int = 2
+
+
+@dataclass
+class MetricTerm:
+    """``vector × count`` for one cost center."""
+
+    line: int
+    col: int
+    vector: CategoryVector
+    count: Expr
+    desc: str = ""
+
+    def free_params(self) -> frozenset:
+        return self.count.free_symbols()
+
+
+@dataclass
+class CallTerm:
+    """A user-function call site: callee metrics × count, with the caller's
+    bindings for the callee's model parameters."""
+
+    callee: str               # qualified name
+    count: Expr
+    line: int
+    arg_exprs: dict = field(default_factory=dict)  # callee param -> Expr|None
+
+    def free_params(self) -> frozenset:
+        out = set(self.count.free_symbols())
+        for e in self.arg_exprs.values():
+            if e is not None:
+                out |= e.free_symbols()
+        return frozenset(out)
+
+
+@dataclass
+class FunctionModel:
+    """The parametric model of one function."""
+
+    fn: A.FunctionDef
+    terms: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+    params: list = field(default_factory=list)   # resolved later (ordered)
+
+    @property
+    def qualified_name(self) -> str:
+        return self.fn.qualified_name
+
+    @property
+    def model_name(self) -> str:
+        """Paper naming: class + function + original arg count (``A_foo_2``)."""
+        name = self.fn.name.replace("operator()", "operatorcall")
+        parts = []
+        if self.fn.class_name:
+            parts.append(self.fn.class_name)
+        parts.append(name)
+        parts.append(str(len(self.fn.params)))
+        return "_".join(parts)
+
+    def own_free_params(self) -> frozenset:
+        out: set = set()
+        for t in self.terms:
+            out |= t.free_params()
+        for c in self.calls:
+            out |= c.count.free_symbols()
+        return frozenset(out)
+
+
+@dataclass
+class _Ctx:
+    """Top-down traversal context: the enclosing iteration domain.
+
+    ``extra`` is a symbolic multiplier produced when an outer region was
+    *collapsed* to a count (e.g. a loop nested inside a complement-counted
+    else-branch): the inner domain restarts fresh and the outer count
+    multiplies it.
+    """
+
+    nest: LoopNest
+    multiplier: Fraction = Fraction(1)
+    pending_neg: tuple = ()   # constraints of a convex condition to negate
+    extra: Expr = Int(1)
+
+    def child(self, **kw) -> "_Ctx":
+        return _Ctx(
+            nest=kw.get("nest", self.nest),
+            multiplier=kw.get("multiplier", self.multiplier),
+            pending_neg=kw.get("pending_neg", self.pending_neg),
+            extra=kw.get("extra", self.extra),
+        )
+
+    def count(self) -> Expr:
+        """Execution count of this context (times any body here runs)."""
+        base = count_nest(self.nest, Int(1))
+        if self.pending_neg:
+            narrowed = self.nest
+            for c in self.pending_neg:
+                narrowed = narrowed.with_constraint(c)
+            base = base - count_nest(narrowed, Int(1))
+        if self.multiplier != 1:
+            base = Int(self.multiplier) * base
+        if self.extra != Int(1):
+            base = self.extra * base
+        return base
+
+
+def _negate_constraints(cs: list):
+    """Negate a conjunction of constraints if the result stays convex
+    (single comparison, or single modular row).  Returns list or None."""
+    from ..polyhedral.affine import AffineExpr, Constraint
+
+    if len(cs) != 1:
+        return None
+    (c,) = cs
+    if c.kind == "ge":
+        # not(e >= 0)  ≡  e <= -1  ≡  -e - 1 >= 0
+        return [Constraint("ge", c.expr.scale(-1) - AffineExpr.constant(1))]
+    if c.kind == "mod_ne":
+        return [Constraint("mod_eq", c.expr, c.mod, c.rem)]
+    if c.kind == "mod_eq":
+        return [Constraint("mod_ne", c.expr, c.mod, c.rem)]
+    return None  # 'eq' negation is non-convex
+
+
+class MetricGenerator:
+    """Builds FunctionModels for every function in a translation unit."""
+
+    def __init__(self, tu: A.TranslationUnit, bridges: dict,
+                 arch: ArchDescription,
+                 options: GeneratorOptions | None = None) -> None:
+        self.tu = tu
+        self.bridges = bridges
+        self.arch = arch
+        self.opts = options or GeneratorOptions()
+
+    # ------------------------------------------------------------------ api
+    def generate(self) -> dict[str, FunctionModel]:
+        models: dict[str, FunctionModel] = {}
+        for fn in self.tu.all_functions():
+            if fn.info.get("prototype_only"):
+                continue
+            models[fn.qualified_name] = self.generate_function(fn)
+        self._resolve_parameters(models)
+        return models
+
+    def generate_function(self, fn: A.FunctionDef) -> FunctionModel:
+        bridge = self.bridges.get(fn.qualified_name)
+        if bridge is None:
+            raise ModelError(f"no binary information for {fn.qualified_name} "
+                             "(was it compiled?)")
+        model = FunctionModel(fn)
+        self._bottom_up(fn.body)
+        # frame term: prologue/epilogue at the function's own coordinate
+        self._emit_term(model, bridge, fn.line, fn.col, Int(1), "frame")
+        ctx = _Ctx(nest=LoopNest())
+        self._walk(fn.body, ctx, model, bridge)
+        return model
+
+    # ------------------------------------------------- pass 1: bottom-up SCoP
+    def _bottom_up(self, node: A.Node) -> None:
+        """Collect loop SCoP info onto loop head nodes (paper's upward pass).
+
+        Results land in ``node.info['scop']`` (a NestLevel) or
+        ``node.info['scop_error']`` (the reason static extraction failed,
+        to be rescued by annotations in the top-down pass).
+        """
+        for c in node.children():
+            self._bottom_up(c)
+        if isinstance(node, A.ForStmt):
+            bindings = {}
+            for ann in node.annotations:
+                if ann.lp_init is not None or ann.lp_cond is not None:
+                    bindings = self._annotation_bindings(node, ann)
+            try:
+                level = extract_level(node, bindings=bindings)
+                node.info["scop"] = level
+            except ScopError as e:
+                node.info["scop_error"] = str(e)
+
+    def _annotation_bindings(self, loop: A.ForStmt, ann: Annotation) -> dict:
+        return {}
+
+    # ------------------------------------------------- pass 2: top-down walk
+    def _walk(self, s: A.Stmt, ctx: _Ctx, model: FunctionModel,
+              bridge: FunctionBridge) -> None:
+        if isinstance(s, A.Stmt) and any(a.skip for a in s.annotations):
+            return
+        if isinstance(s, A.CompoundStmt):
+            for sub in s.stmts:
+                self._walk(sub, ctx, model, bridge)
+            return
+        if isinstance(s, (A.NullStmt,)):
+            return
+        if isinstance(s, (A.ExprStmt, A.DeclStmt, A.ReturnStmt)):
+            count = ctx.count()
+            self._emit_term(model, bridge, s.line, s.col, count, "stmt")
+            self._emit_calls(s, count, model)
+            return
+        if isinstance(s, A.IfStmt):
+            self._walk_if(s, ctx, model, bridge)
+            return
+        if isinstance(s, A.ForStmt):
+            self._walk_for(s, ctx, model, bridge)
+            return
+        if isinstance(s, A.WhileStmt):
+            self._walk_while(s, ctx, model, bridge)
+            return
+        if isinstance(s, A.DoWhileStmt):
+            self._walk_do_while(s, ctx, model, bridge)
+            return
+        if isinstance(s, (A.BreakStmt, A.ContinueStmt)):
+            # control transfer cost is folded into the enclosing centers;
+            # early exits make counts upper bounds (documented limitation,
+            # same as the paper's static nature).
+            count = ctx.count()
+            self._emit_term(model, bridge, s.line, s.col, count, "jump")
+            return
+        raise ModelError(f"metric generation: unhandled {type(s).__name__}")
+
+    # ------------------------------------------------------------------ loops
+    def _loop_level(self, s: A.ForStmt, ctx: _Ctx,
+                    model: FunctionModel) -> NestLevel | None:
+        """Resolve the loop's NestLevel: SCoP, or annotation rescue."""
+        ann_iters = None
+        ann_init = None
+        ann_cond = None
+        for ann in s.annotations:
+            if ann.iters is not None:
+                ann_iters = ann.iters
+            if ann.lp_init is not None:
+                ann_init = ann.lp_init
+            if ann.lp_cond is not None:
+                ann_cond = ann.lp_cond
+
+        if ann_iters is not None:
+            trip = Sym(ann_iters) if isinstance(ann_iters, str) else Int(int(ann_iters))
+            var = self._loop_var_name(s) or f"_it_L{s.line}"
+            return NestLevel(var, Int(1), trip)
+
+        level = s.info.get("scop")
+        if level is not None and ann_init is None and ann_cond is None:
+            return level
+
+        if ann_init is not None or ann_cond is not None:
+            var = self._loop_var_name(s)
+            if var is None:
+                model.warnings.append(
+                    f"line {s.line}: cannot identify loop variable")
+                return None
+            lb = Sym(ann_init) if ann_init is not None else \
+                (level.lb if level is not None else Int(0))
+            ub = Sym(ann_cond) if ann_cond is not None else \
+                (level.ub if level is not None else Int(0))
+            step = level.step if level is not None else 1
+            return NestLevel(var, as_expr(lb), as_expr(ub), step)
+
+        err = s.info.get("scop_error", "no SCoP")
+        model.warnings.append(
+            f"line {s.line}: loop not statically analyzable ({err}); "
+            f"exposed as model parameter")
+        var = self._loop_var_name(s) or f"_it_L{s.line}"
+        return NestLevel(var, Int(1), Sym(f"iters_{s.line}"))
+
+    @staticmethod
+    def _loop_var_name(s: A.ForStmt) -> str | None:
+        if isinstance(s.init, A.DeclStmt) and len(s.init.decls) == 1:
+            return s.init.decls[0].name
+        if isinstance(s.init, A.ExprStmt) and isinstance(s.init.expr, A.Assign) \
+                and isinstance(s.init.expr.target, A.Ident):
+            return s.init.expr.target.name
+        return None
+
+    def _walk_for(self, s: A.ForStmt, ctx: _Ctx, model: FunctionModel,
+                  bridge: FunctionBridge) -> None:
+        level = self._loop_level(s, ctx, model)
+        if level is None:
+            return
+        if self.opts.opt_level >= 3 and s.info.get("vectorized"):
+            level = NestLevel(level.var, level.lb, level.ub,
+                              level.step * int(s.info["vectorized"]))
+
+        outer_count = ctx.count()
+        # A loop whose bounds depend on enclosing indices that were collapsed
+        # away (ratio/complement contexts) cannot nest symbolically.
+        body_ctx = self._nest_ctx(ctx, level, s, model)
+        iters = body_ctx.count()
+
+        if s.init is not None:
+            self._emit_term(model, bridge, s.init.line, s.init.col,
+                            outer_count, "loop-init")
+            self._emit_calls(s.init, outer_count, model)
+        if s.cond is not None:
+            self._emit_term(model, bridge, s.cond.line, s.cond.col,
+                            iters + outer_count, "loop-cond")
+        if s.incr is not None:
+            self._emit_term(model, bridge, s.incr.line, s.incr.col,
+                            iters, "loop-incr")
+        self._walk(s.body, body_ctx, model, bridge)
+
+    def _nest_ctx(self, ctx: _Ctx, level: NestLevel, s: A.Stmt,
+                  model: FunctionModel) -> _Ctx:
+        """Push a loop level into the context, collapsing ratio/negation
+        contexts into a scalar multiplier when necessary."""
+        if ctx.pending_neg:
+            deps = (level.lb.free_symbols() | level.ub.free_symbols()) \
+                & set(ctx.nest.index_vars())
+            if deps:
+                raise ModelError(
+                    f"line {s.line}: loop inside a negated branch depends on "
+                    f"outer indices {sorted(deps)}; annotate the branch")
+            collapsed = ctx.count()
+            return _Ctx(nest=LoopNest().add_level(level), extra=collapsed)
+        return ctx.child(nest=ctx.nest.nested(level))
+
+    def _walk_while(self, s: A.WhileStmt, ctx: _Ctx, model: FunctionModel,
+                    bridge: FunctionBridge) -> None:
+        ann_iters = None
+        for ann in s.annotations:
+            if ann.iters is not None:
+                ann_iters = ann.iters
+        if ann_iters is None:
+            model.warnings.append(
+                f"line {s.line}: while-loop trip count exposed as parameter "
+                f"iters_{s.line}")
+            trip: Expr = Sym(f"iters_{s.line}")
+        else:
+            trip = Sym(ann_iters) if isinstance(ann_iters, str) else Int(int(ann_iters))
+        level = NestLevel(f"_wh_L{s.line}", Int(1), trip)
+        outer_count = ctx.count()
+        body_ctx = self._nest_ctx(ctx, level, s, model)
+        iters = body_ctx.count()
+        self._emit_term(model, bridge, s.cond.line, s.cond.col,
+                        iters + outer_count, "while-cond")
+        self._walk(s.body, body_ctx, model, bridge)
+
+    def _walk_do_while(self, s: A.DoWhileStmt, ctx: _Ctx, model: FunctionModel,
+                       bridge: FunctionBridge) -> None:
+        ann_iters = None
+        for ann in s.annotations:
+            if ann.iters is not None:
+                ann_iters = ann.iters
+        if ann_iters is None:
+            model.warnings.append(
+                f"line {s.line}: do-while trip count exposed as parameter "
+                f"iters_{s.line}")
+            trip: Expr = Sym(f"iters_{s.line}")
+        else:
+            trip = Sym(ann_iters) if isinstance(ann_iters, str) else Int(int(ann_iters))
+        level = NestLevel(f"_dw_L{s.line}", Int(1), trip)
+        body_ctx = self._nest_ctx(ctx, level, s, model)
+        iters = body_ctx.count()
+        self._emit_term(model, bridge, s.cond.line, s.cond.col, iters,
+                        "dowhile-cond")
+        self._walk(s.body, body_ctx, model, bridge)
+
+    # ---------------------------------------------------------------- branches
+    def _walk_if(self, s: A.IfStmt, ctx: _Ctx, model: FunctionModel,
+                 bridge: FunctionBridge) -> None:
+        cond_count = ctx.count()
+        self._emit_term(model, bridge, s.cond.line, s.cond.col, cond_count,
+                        "if-cond")
+        self._emit_calls_expr(s.cond, cond_count, model)
+
+        ratio = None
+        for ann in s.annotations:
+            if ann.ratio is not None:
+                ratio = ann.ratio
+
+        constraints = None
+        if ratio is None:
+            try:
+                constraints = condition_to_constraints(s.cond)
+            except ScopError:
+                constraints = None
+
+        if constraints is not None:
+            then_ctx = ctx.child(nest=self._with_constraints(ctx.nest,
+                                                             constraints))
+            try:
+                then_ctx.count()  # validate the intersection is countable
+            except PolyhedralError as e:
+                model.warnings.append(
+                    f"line {s.line}: branch constraints not countable "
+                    f"({e}); falling back to ratio heuristic")
+                constraints = None
+        if constraints is not None:
+            self._walk(s.then, then_ctx, model, bridge)
+            if s.els is not None:
+                neg = _negate_constraints(constraints)
+                if neg is not None:
+                    els_ctx = ctx.child(
+                        nest=self._with_constraints(ctx.nest, neg))
+                else:
+                    # complement trick: count_else = count − count_then
+                    els_ctx = ctx.child(pending_neg=tuple(constraints))
+                self._walk(s.els, els_ctx, model, bridge)
+            return
+
+        # annotation ratio or heuristic
+        if ratio is None:
+            ratio = self.opts.default_branch_ratio
+            model.warnings.append(
+                f"line {s.line}: branch condition not statically analyzable; "
+                f"assuming ratio {ratio}")
+        r = Fraction(ratio).limit_denominator(10 ** 6)
+        then_ctx = ctx.child(multiplier=ctx.multiplier * r)
+        self._walk(s.then, then_ctx, model, bridge)
+        if s.els is not None:
+            els_ctx = ctx.child(multiplier=ctx.multiplier * (1 - r))
+            self._walk(s.els, els_ctx, model, bridge)
+
+    @staticmethod
+    def _with_constraints(nest: LoopNest, cs: list) -> LoopNest:
+        out = nest
+        for c in cs:
+            out = out.with_constraint(c)
+        return out
+
+    # -------------------------------------------------------------------- emit
+    def _emit_term(self, model: FunctionModel, bridge: FunctionBridge,
+                   line: int, col: int, count: Expr, desc: str) -> None:
+        center = bridge.center_at(line, col)
+        if center is None:
+            return  # optimized away entirely (e.g. folded constants)
+        vec = vector_for_center(center, self.arch)
+        model.terms.append(MetricTerm(line, col, vec, count, desc))
+
+    def _emit_calls(self, s: A.Stmt, count: Expr, model: FunctionModel) -> None:
+        for node in A.walk(s):
+            if isinstance(node, A.Expr):
+                self._emit_calls_expr(node, count, model, recurse=False)
+
+    def _emit_calls_expr(self, e: A.Expr, count: Expr, model: FunctionModel,
+                         recurse: bool = True) -> None:
+        nodes = A.walk(e) if recurse else [e]
+        for node in nodes:
+            if not isinstance(node, A.Call):
+                continue
+            callee = self._resolve_callee(node, model)
+            if callee is None:
+                continue  # builtin/library: invisible to static analysis
+            arg_map = self._map_call_args(node, callee)
+            model.calls.append(CallTerm(callee.qualified_name, count,
+                                        node.line, arg_map))
+
+    def _resolve_callee(self, call: A.Call, model: FunctionModel):
+        if isinstance(call.callee, A.Member):
+            cls = self._receiver_class(call.callee.obj, model.fn)
+            if cls is None:
+                return None
+            return self.tu.find_function(call.callee.name, cls)
+        if isinstance(call.callee, A.Ident):
+            name = call.callee.name
+            fn = self.tu.find_function(name, None)
+            if fn is not None and not fn.info.get("prototype_only"):
+                return fn
+            # functor? look for a local/global variable of class type
+            cls = self._var_class(name, model.fn)
+            if cls is not None:
+                return self.tu.find_function("operator()", cls)
+            return None
+        return None
+
+    def _receiver_class(self, obj: A.Expr, fn: A.FunctionDef) -> str | None:
+        if isinstance(obj, A.Ident):
+            return self._var_class(obj.name, fn)
+        return None
+
+    def _var_class(self, name: str, fn: A.FunctionDef) -> str | None:
+        class_names = {c.name for c in self.tu.classes}
+        for node in A.walk(fn.body):
+            if isinstance(node, A.DeclStmt):
+                for d in node.decls:
+                    if d.name == name and d.type.name in class_names:
+                        return d.type.name
+        for p in fn.params:
+            if p.name == name and p.type.name in class_names:
+                return p.type.name
+        for g in self.tu.globals:
+            for d in g.decls:
+                if d.name == name and d.type.name in class_names:
+                    return d.type.name
+        return None
+
+    def _map_call_args(self, call: A.Call, callee: A.FunctionDef) -> dict:
+        """Bind callee source parameters to caller-side symbolic expressions
+        where possible (IntLit or plain identifiers); None means the binding
+        must become a call-site parameter (the paper's ``y_16``)."""
+        out: dict[str, Expr | None] = {}
+        for p, a in zip(callee.params, call.args):
+            if isinstance(a, A.IntLit):
+                out[p.name] = Int(a.value)
+            elif isinstance(a, A.Ident):
+                out[p.name] = Sym(a.name)
+            else:
+                out[p.name] = None
+        return out
+
+    # ------------------------------------------------------- parameter closure
+    def _resolve_parameters(self, models: dict[str, FunctionModel]) -> None:
+        """Compute each model's parameter list, including parameters that
+        bubble up from callees through unresolved call-site bindings."""
+        order = self._topo_order(models)
+        needed: dict[str, list[str]] = {}
+        for qname in order:
+            m = models[qname]
+            params = set(m.own_free_params())
+            for c in m.calls:
+                callee_params = needed.get(c.callee, [])
+                for p in callee_params:
+                    bound = c.arg_exprs.get(p)
+                    if bound is None and p in c.arg_exprs:
+                        params.add(f"{p}_{c.line}")
+                    elif bound is not None:
+                        params |= bound.free_symbols()
+                    else:
+                        # parameter of callee not tied to a source arg
+                        # (annotation variable): bubble up with line suffix
+                        params.add(f"{p}_{c.line}")
+            src_params = [p.name for p in m.fn.params if p.name in params]
+            extra = sorted(params - set(src_params))
+            m.params = src_params + extra
+            needed[qname] = m.params
+
+    def _topo_order(self, models: dict[str, FunctionModel]) -> list[str]:
+        """Callees before callers; raises on recursion."""
+        out: list[str] = []
+        state: dict[str, int] = {}
+
+        def visit(q: str) -> None:
+            st = state.get(q, 0)
+            if st == 1:
+                raise ModelError(f"recursive call cycle involving {q!r} "
+                                 "(not supported by static modeling)")
+            if st == 2:
+                return
+            state[q] = 1
+            for c in models[q].calls:
+                if c.callee in models:
+                    visit(c.callee)
+            state[q] = 2
+            out.append(q)
+
+        for q in models:
+            visit(q)
+        return out

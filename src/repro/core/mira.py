@@ -1,0 +1,128 @@
+"""The Mira facade: one call from source code to an evaluable model.
+
+Typical use::
+
+    from repro import Mira
+
+    mira = Mira()                      # default arch, -O2
+    model = mira.analyze(source_code)  # full pipeline (paper Fig. 1)
+    m = model.evaluate("main")         # Metrics for the whole program
+    print(m.as_dict())
+    print(model.fp_instructions("cg_solve", {"n": 30}))
+    print(model.python_source())       # the generated model module
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.arch import ArchDescription, default_arch
+from ..errors import ModelError
+from .input_processor import InputProcessor, ProcessedInput
+from .metric_generator import (FunctionModel, GeneratorOptions,
+                               MetricGenerator)
+from .model_generator import (compile_model, evaluate_model,
+                              generate_model_source)
+from .model_runtime import Metrics
+
+__all__ = ["Mira", "MiraModel"]
+
+
+@dataclass
+class MiraModel:
+    """The product of an analysis: parametric models for every function."""
+
+    processed: ProcessedInput
+    models: dict = field(default_factory=dict)   # qualified name -> FunctionModel
+    arch: ArchDescription = field(default_factory=default_arch)
+    _source_cache: str | None = None
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, function: str, params: dict | None = None) -> Metrics:
+        """Evaluate the model of ``function`` with parameter bindings."""
+        qname = self._resolve(function)
+        return evaluate_model(self.models, qname, params)
+
+    def parameters(self, function: str) -> list[str]:
+        return self.models[self._resolve(function)].params
+
+    def warnings(self, function: str | None = None) -> list[str]:
+        if function is not None:
+            return list(self.models[self._resolve(function)].warnings)
+        out: list[str] = []
+        for q, m in self.models.items():
+            out.extend(f"{q}: {w}" for w in m.warnings)
+        return out
+
+    def fp_instructions(self, function: str, params: dict | None = None) -> int:
+        """Floating-point instruction count (PAPI_FP_INS analog, Tables
+        III-V)."""
+        return self.evaluate(function, params).fp_instructions(
+            self.arch.fp_arith_categories)
+
+    def categorized_counts(self, function: str,
+                           params: dict | None = None) -> dict[str, int]:
+        """Per-category instruction counts (paper Table II)."""
+        return self.evaluate(function, params).as_dict()
+
+    # -- code generation ------------------------------------------------------------
+    def python_source(self) -> str:
+        if self._source_cache is None:
+            self._source_cache = generate_model_source(
+                self.models, self.arch, self.processed.tu.filename)
+        return self._source_cache
+
+    def compiled_module(self) -> dict:
+        return compile_model(self.python_source())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.python_source())
+
+    # -- helpers ------------------------------------------------------------------
+    def _resolve(self, function: str) -> str:
+        if function in self.models:
+            return function
+        matches = [q for q in self.models
+                   if q == function or q.endswith(f"::{function}")
+                   or self.models[q].model_name == function]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ModelError(f"no model for function {function!r}; "
+                             f"available: {sorted(self.models)}")
+        raise ModelError(f"ambiguous function {function!r}: {matches}")
+
+    def function_models(self) -> dict[str, FunctionModel]:
+        return dict(self.models)
+
+
+class Mira:
+    """The framework entry point (paper Fig. 1 workflow)."""
+
+    def __init__(self, arch: ArchDescription | None = None,
+                 opt_level: int = 2,
+                 default_branch_ratio: float = 0.5) -> None:
+        self.arch = arch or default_arch()
+        self.opt_level = opt_level
+        self.gen_options = GeneratorOptions(
+            default_branch_ratio=default_branch_ratio,
+            opt_level=opt_level)
+
+    def analyze(self, source: str, filename: str = "<input>",
+                predefined: dict | None = None) -> MiraModel:
+        processed = InputProcessor(self.arch, self.opt_level).process_source(
+            source, filename=filename, predefined=predefined)
+        return self._finish(processed)
+
+    def analyze_file(self, path: str,
+                     predefined: dict | None = None) -> MiraModel:
+        processed = InputProcessor(self.arch, self.opt_level).process_file(
+            path, predefined=predefined)
+        return self._finish(processed)
+
+    def _finish(self, processed: ProcessedInput) -> MiraModel:
+        gen = MetricGenerator(processed.tu, processed.bridges, self.arch,
+                              self.gen_options)
+        models = gen.generate()
+        return MiraModel(processed=processed, models=models, arch=self.arch)

@@ -1,0 +1,226 @@
+"""Model Generator (paper Fig. 1 third stage, Fig. 5 output format).
+
+Consumes the metric generator's :class:`FunctionModel` objects and produces
+the **executable Python model**: one Python function per source function
+(named ``<Class>_<name>_<nargs>``), each returning a ``Metrics`` object; call
+sites are combined with ``handle_function_call``; unknown quantities are
+function parameters, with call-site-specific parameters named ``<var>_<line>``
+exactly as the paper's ``y_16``.
+
+Two evaluation paths exist and are cross-checked in the tests:
+
+* :func:`evaluate_model` — direct in-process evaluation of the symbolic
+  terms (no codegen),
+* :func:`generate_model_source` + :func:`compile_model` — the paper's actual
+  product, a standalone Python module, exec'd and called.
+"""
+
+from __future__ import annotations
+
+import io
+from fractions import Fraction
+
+from ..compiler.arch import ArchDescription
+from ..errors import ModelError
+from ..symbolic import Expr, expr_to_python
+from .metric_generator import CallTerm, FunctionModel
+from .model_runtime import Metrics, _mira_sum, handle_function_call
+
+__all__ = ["generate_model_source", "compile_model", "evaluate_model",
+           "model_entry_name"]
+
+
+def model_entry_name(models: dict[str, FunctionModel], qname: str) -> str:
+    m = models.get(qname)
+    if m is None:
+        raise ModelError(f"no model for function {qname!r}")
+    return m.model_name
+
+
+# ---------------------------------------------------------------------------
+# Direct evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate_model(models: dict[str, FunctionModel], qname: str,
+                   env: dict | None = None) -> Metrics:
+    """Evaluate a function model with parameter bindings ``env``.
+
+    Call-site parameters (``y_16``) are looked up in the same ``env``.
+    """
+    env = dict(env or {})
+    m = models.get(qname)
+    if m is None:
+        raise ModelError(f"no model for function {qname!r}")
+    missing = [p for p in m.params if p not in env]
+    if missing:
+        raise ModelError(
+            f"model {m.model_name} missing parameter(s) {missing}; "
+            f"required: {m.params}")
+    out = Metrics()
+    for t in m.terms:
+        out.add(t.vector.as_dict(), Fraction(t.count.evaluate(env)))
+    for c in m.calls:
+        sub_env = _callee_env(models, c, env)
+        callee_metrics = evaluate_model(models, c.callee, sub_env)
+        handle_function_call(out, callee_metrics,
+                             Fraction(c.count.evaluate(env)))
+    return out
+
+
+def _callee_env(models: dict[str, FunctionModel], c: CallTerm,
+                env: dict) -> dict:
+    callee = models.get(c.callee)
+    if callee is None:
+        raise ModelError(f"call to unmodeled function {c.callee!r}")
+    sub: dict = {}
+    for p in callee.params:
+        bound = c.arg_exprs.get(p)
+        if bound is not None:
+            sub[p] = bound.evaluate(env)
+        else:
+            key = f"{p}_{c.line}"
+            if key in env:
+                sub[p] = env[key]
+            elif p in env:
+                sub[p] = env[p]
+            else:
+                raise ModelError(
+                    f"call at line {c.line}: no binding for callee "
+                    f"parameter {p!r} (expected env key {key!r})")
+    return sub
+
+
+# ---------------------------------------------------------------------------
+# Python code generation
+# ---------------------------------------------------------------------------
+
+def _py_count(e: Expr) -> str:
+    return expr_to_python(e)
+
+
+def generate_model_source(models: dict[str, FunctionModel],
+                          arch: ArchDescription,
+                          source_name: str = "<input>") -> str:
+    """Render the full Python model module (paper Fig. 5)."""
+    out = io.StringIO()
+    w = out.write
+    w('"""Performance model generated statically by Mira.\n\n')
+    w(f"source: {source_name}\n")
+    w(f"architecture: {arch.name}\n")
+    w('Evaluate by calling the per-function model functions; parameters\n')
+    w('are loop bounds / annotation variables the static analysis preserved\n')
+    w('(paper III-C: "the parametric expression exists in the model").\n')
+    w('"""\n\n')
+    w("from fractions import Fraction\n")
+    w("from repro.core.model_runtime import Metrics, handle_function_call, "
+      "_mira_sum\n\n")
+    w(f"MIRA_FP_CATEGORIES = {arch.fp_arith_categories!r}\n")
+    w(f"MIRA_FP_DATA_CATEGORIES = {arch.fp_data_categories!r}\n\n")
+
+    order = _emit_order(models)
+    name_map = {q: models[q].model_name for q in order}
+    for qname in order:
+        _emit_function(w, models, models[qname], name_map)
+
+    w("\nMODEL_FUNCTIONS = {\n")
+    for qname in order:
+        w(f"    {qname!r}: {name_map[qname]},\n")
+    w("}\n\n")
+    w("PARAMETERS = {\n")
+    for qname in order:
+        w(f"    {qname!r}: {models[qname].params!r},\n")
+    w("}\n\n")
+    w(_MAIN_STUB)
+    return out.getvalue()
+
+
+def _emit_order(models: dict[str, FunctionModel]) -> list[str]:
+    """Callees before callers (mirrors MetricGenerator's topo order)."""
+    out: list[str] = []
+    seen: set[str] = set()
+
+    def visit(q: str) -> None:
+        if q in seen:
+            return
+        seen.add(q)
+        for c in models[q].calls:
+            if c.callee in models:
+                visit(c.callee)
+        out.append(q)
+
+    for q in models:
+        visit(q)
+    return out
+
+
+def _emit_function(w, models: dict, m: FunctionModel, name_map: dict) -> None:
+    args = ", ".join(m.params)
+    w(f"def {m.model_name}({args}):\n")
+    doc = f"Model of {m.qualified_name!r}"
+    if m.warnings:
+        doc += " (warnings: " + "; ".join(m.warnings) + ")"
+    w(f'    """{doc}."""\n')
+    w("    metrics = Metrics()\n")
+    for t in m.terms:
+        vec = t.vector.as_dict()
+        if not vec:
+            continue
+        w(f"    # line {t.line}:{t.col} [{t.desc}]\n")
+        w(f"    metrics.add({vec!r}, {_py_count(t.count)})\n")
+    for i, c in enumerate(m.calls):
+        callee = models.get(c.callee)
+        if callee is None:
+            continue
+        bindings = []
+        for p in callee.params:
+            bound = c.arg_exprs.get(p)
+            if bound is not None:
+                bindings.append(f"{p}={_py_count(bound)}")
+            else:
+                bindings.append(f"{p}={p}_{c.line}")
+        w(f"    # call {c.callee} at line {c.line}\n")
+        w(f"    _callee_{i} = {name_map[c.callee]}({', '.join(bindings)})\n")
+        w(f"    handle_function_call(metrics, _callee_{i}, "
+          f"{_py_count(c.count)})\n")
+    w("    return metrics\n\n")
+
+
+_MAIN_STUB = '''\
+def _parse_args(argv):
+    entry = None
+    env = {}
+    for a in argv:
+        if "=" in a:
+            k, v = a.split("=", 1)
+            env[k] = int(v)
+        else:
+            entry = a
+    return entry, env
+
+
+if __name__ == "__main__":
+    import sys
+
+    entry, env = _parse_args(sys.argv[1:])
+    if entry is None:
+        entry = next(iter(MODEL_FUNCTIONS))
+    fn = MODEL_FUNCTIONS[entry]
+    needed = PARAMETERS[entry]
+    missing = [p for p in needed if p not in env]
+    if missing:
+        raise SystemExit(
+            f"model {entry} needs parameters: {needed}; missing {missing}")
+    metrics = fn(**{p: env[p] for p in needed})
+    print(f"# Mira model evaluation: {entry}")
+    for cat, n in sorted(metrics.as_dict().items(), key=lambda kv: -kv[1]):
+        print(f"{n:>16}  {cat}")
+    print(f"{metrics.total():>16}  TOTAL")
+    print(f"{metrics.fp_instructions(MIRA_FP_CATEGORIES):>16}  FP_INS")
+'''
+
+
+def compile_model(source: str) -> dict:
+    """Exec a generated model module and return its namespace."""
+    ns: dict = {}
+    exec(compile(source, "<mira-model>", "exec"), ns)
+    return ns

@@ -1,0 +1,82 @@
+"""Runtime support imported by Mira-generated Python models (paper Fig. 5).
+
+The generated model keeps per-category instruction counts in
+:class:`Metrics` dictionaries "updated in the same order as the statements";
+``handle_function_call(caller, callee, iterations)`` merges a callee's
+metrics into the caller, multiplying by the loop iteration count of the call
+site (paper §III-C.5).
+
+Counts are exact: iteration expressions may be rational (branch-ratio
+annotations), so values are accumulated as ``Fraction`` and rounded only on
+report.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Callable, Mapping
+
+__all__ = ["Metrics", "handle_function_call", "_mira_sum"]
+
+
+def _mira_sum(body: Callable[[int], object], lo, hi) -> Fraction:
+    """Numeric fallback for lazy symbolic sums (empty range → 0)."""
+    lo = int(lo)
+    hi = int(hi)
+    total = Fraction(0)
+    for k in range(lo, hi + 1):
+        total += Fraction(body(k))
+    return total
+
+
+class Metrics:
+    """Per-category instruction counts for one function invocation."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: dict[str, Fraction] = {}
+
+    def add(self, vector: Mapping[str, int], times=1) -> None:
+        """Accumulate ``vector × times`` (one model statement)."""
+        t = Fraction(times)
+        if t == 0:
+            return
+        for cat, n in vector.items():
+            self.counts[cat] = self.counts.get(cat, Fraction(0)) + n * t
+
+    def merge(self, other: "Metrics", times=1) -> None:
+        self.add(other.counts, times)
+
+    # -- reporting ---------------------------------------------------------------
+    def as_dict(self) -> dict[str, int]:
+        """Rounded integer counts by category (zero rows dropped)."""
+        out = {}
+        for cat, v in self.counts.items():
+            n = int(round(v))
+            if n:
+                out[cat] = n
+        return out
+
+    def total(self) -> int:
+        return sum(self.as_dict().values())
+
+    def get(self, category: str) -> int:
+        return int(round(self.counts.get(category, Fraction(0))))
+
+    def fp_instructions(self, fp_categories) -> int:
+        """PAPI_FP_INS analog over the arch file's FP categories."""
+        return sum(self.get(c) for c in fp_categories)
+
+    def __repr__(self) -> str:
+        return f"Metrics({self.as_dict()})"
+
+
+def handle_function_call(caller: Metrics, callee: Metrics, iterations=1) -> None:
+    """Combine callee metrics into the caller (paper's helper of the same
+    name): every callee metric is multiplied by the call site's loop
+    iteration count."""
+    if not isinstance(iterations, (int, Rational)):
+        raise TypeError("iterations must be an exact number")
+    caller.merge(callee, iterations)

@@ -1,0 +1,18 @@
+"""Dynamic-execution substrate: the TAU/PAPI stand-in (DESIGN.md §2).
+
+Executes programs with real control flow and data, attributing binary-derived
+instruction vectors per cost center, plus library-internal costs the static
+model cannot see.
+"""
+
+from .interp import ExecutionCounts, Interpreter
+from .libruntime import LIBRARY, LibFunction, printf_cost
+from .papi import PAPI_PRESETS, count_preset, preset_categories
+from .tau import FunctionProfile, TauProfiler, TauReport
+from .values import Obj, Ptr, c_div, c_mod
+
+__all__ = [
+    "ExecutionCounts", "FunctionProfile", "Interpreter", "LIBRARY",
+    "LibFunction", "Obj", "PAPI_PRESETS", "Ptr", "TauProfiler", "TauReport",
+    "c_div", "c_mod", "count_preset", "preset_categories", "printf_cost",
+]

@@ -1,0 +1,49 @@
+"""PAPI-like counter presets (paper §II-C).
+
+Maps PAPI preset event names onto our 64 instruction categories, so the
+dynamic substrate and the static model report through the same vocabulary
+the paper validates against (``PAPI_FP_INS`` in Tables III–V).
+"""
+
+from __future__ import annotations
+
+from ..compiler.arch import (ArchDescription, CAT_INT_CTRL, CAT_INT_DATA,
+                             CAT_SSE2_DATA)
+from ..errors import MiraError
+
+__all__ = ["PAPI_PRESETS", "preset_categories", "count_preset"]
+
+# preset -> how to derive category list from the arch description
+PAPI_PRESETS = [
+    "PAPI_FP_INS",    # floating-point instructions
+    "PAPI_TOT_INS",   # total instructions
+    "PAPI_BR_INS",    # branch instructions
+    "PAPI_LST_INS",   # load/store (data movement) instructions
+    "PAPI_FP_OPS",    # FP operations (counts packed lanes)
+]
+
+
+def preset_categories(preset: str, arch: ArchDescription) -> list[str] | None:
+    """Categories contributing to a preset; None means 'all categories'."""
+    if preset == "PAPI_FP_INS" or preset == "PAPI_FP_OPS":
+        if preset == "PAPI_FP_INS" and not arch.has_fp_counters:
+            raise MiraError(
+                f"architecture {arch.name!r} has no FP hardware counters "
+                "(paper IV-D.1: e.g. Haswell); use the static model instead")
+        return list(arch.fp_arith_categories)
+    if preset == "PAPI_TOT_INS":
+        return None
+    if preset == "PAPI_BR_INS":
+        return [CAT_INT_CTRL]
+    if preset == "PAPI_LST_INS":
+        return [CAT_INT_DATA, CAT_SSE2_DATA] + list(arch.fp_data_categories)
+    raise MiraError(f"unknown PAPI preset {preset!r}; known: {PAPI_PRESETS}")
+
+
+def count_preset(categories: dict[str, int], preset: str,
+                 arch: ArchDescription) -> int:
+    """Evaluate a preset over a category-count dictionary."""
+    cats = preset_categories(preset, arch)
+    if cats is None:
+        return sum(categories.values())
+    return sum(categories.get(c, 0) for c in set(cats))

@@ -1,0 +1,81 @@
+"""TAU-like instrumentation-mode profiler (paper §II-C, §IV).
+
+Wraps the interpreter with the workflow the paper uses for validation:
+"comparing the floating-point instruction counts produced by Mira with
+empirical instrumentation-based TAU/PAPI measurements."  Each user function
+is instrumented at entry/exit; the report carries per-function *inclusive*
+category counts (mean per call) plus whole-run totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.input_processor import ProcessedInput
+from ..errors import InterpError
+from .interp import ExecutionCounts, Interpreter
+from .papi import count_preset
+
+__all__ = ["FunctionProfile", "TauReport", "TauProfiler"]
+
+
+@dataclass
+class FunctionProfile:
+    """One row of a TAU profile."""
+
+    name: str
+    calls: int
+    categories: dict                 # inclusive, mean per call
+
+    def counter(self, preset: str, arch) -> int:
+        return count_preset(self.categories, preset, arch)
+
+
+@dataclass
+class TauReport:
+    """Whole-run measurement."""
+
+    counts: ExecutionCounts
+    arch: object
+    return_value: object = None
+    profiles: dict = field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionProfile:
+        prof = self.profiles.get(name)
+        if prof is None:
+            matches = [k for k in self.profiles if k.endswith(f"::{name}")]
+            if len(matches) == 1:
+                return self.profiles[matches[0]]
+            raise InterpError(f"no profile for {name!r}; "
+                              f"measured: {sorted(self.profiles)}")
+        return prof
+
+    def fp_ins(self, name: str) -> int:
+        """PAPI_FP_INS for one function (per invocation, inclusive)."""
+        return self.function(name).counter("PAPI_FP_INS", self.arch)
+
+    def total_categories(self) -> dict[str, int]:
+        return self.counts.total_categories()
+
+
+class TauProfiler:
+    """Run a processed program under instrumentation."""
+
+    def __init__(self, processed: ProcessedInput) -> None:
+        self.processed = processed
+        self.arch = processed.arch
+
+    def profile(self, entry: str = "main",
+                args: list | None = None) -> TauReport:
+        interp = Interpreter(self.processed)
+        rv = interp.run(entry, args)
+        counts = interp.counts()
+        profiles = {}
+        for qname, rec in counts.records.items():
+            profiles[qname] = FunctionProfile(
+                name=qname,
+                calls=rec.calls,
+                categories=counts.function_categories(qname, per_call=True),
+            )
+        return TauReport(counts=counts, arch=self.arch, return_value=rv,
+                         profiles=profiles)

@@ -1,0 +1,92 @@
+"""Runtime values for the dynamic-execution substrate.
+
+Arrays are flat Python lists (fastest scalar indexing available without
+compiled extensions); pointers are (buffer, offset) views; class instances
+are attribute dictionaries zero-initialized from the class definition.
+"""
+
+from __future__ import annotations
+
+from ..errors import InterpError
+from ..frontend.ast_nodes import ClassDef
+from ..frontend.types import Type
+
+__all__ = ["Ptr", "Obj", "zero_value", "alloc_array", "c_div", "c_mod"]
+
+
+class Ptr:
+    """A pointer into a flat buffer: ``p[i]`` reads ``buf[off + i]``."""
+
+    __slots__ = ("buf", "off")
+
+    def __init__(self, buf: list, off: int = 0) -> None:
+        self.buf = buf
+        self.off = off
+
+    def load(self, i: int):
+        return self.buf[self.off + i]
+
+    def store(self, i: int, v) -> None:
+        self.buf[self.off + i] = v
+
+    def __add__(self, k: int) -> "Ptr":
+        return Ptr(self.buf, self.off + int(k))
+
+    def __repr__(self) -> str:
+        return f"Ptr(len={len(self.buf)}, off={self.off})"
+
+
+class Obj:
+    """A class instance: plain attribute storage."""
+
+    __slots__ = ("cls", "fields")
+
+    def __init__(self, cls: ClassDef) -> None:
+        self.cls = cls
+        self.fields = {f.name: zero_value(f.type) for f in cls.fields}
+
+    def get(self, name: str):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise InterpError(f"object of class {self.cls.name!r} has no "
+                              f"field {name!r}") from None
+
+    def set(self, name: str, v) -> None:
+        if name not in self.fields:
+            raise InterpError(f"object of class {self.cls.name!r} has no "
+                              f"field {name!r}")
+        self.fields[name] = v
+
+    def __repr__(self) -> str:
+        return f"Obj({self.cls.name}, {self.fields})"
+
+
+def zero_value(ty: Type):
+    """C zero-initialization for a scalar of the given type."""
+    if ty.pointer > 0:
+        return None
+    if ty.is_float:
+        return 0.0
+    return 0
+
+
+def alloc_array(ty: Type, dims: tuple) -> list:
+    """Allocate a flat zero-filled buffer for a (multi-dim) array."""
+    n = 1
+    for d in dims:
+        n *= int(d)
+    return [0.0] * n if ty.is_float else [0] * n
+
+
+def c_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    if b == 0:
+        raise InterpError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a: int, b: int) -> int:
+    """C remainder: sign follows the dividend."""
+    return a - b * c_div(a, b)

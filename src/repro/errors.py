@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Mira reproduction.
+
+Every subsystem raises a subclass of :class:`MiraError` so callers can catch
+framework errors without masking programming bugs.
+"""
+
+from __future__ import annotations
+
+
+class MiraError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class LexError(MiraError):
+    """Raised by the frontend lexer on malformed input."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(MiraError):
+    """Raised by the frontend parser on syntactically invalid input."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class SemanticError(MiraError):
+    """Raised when the input program is syntactically valid but meaningless
+    for our analyses (unknown identifier, bad annotation, ...)."""
+
+
+class SymbolicError(MiraError):
+    """Raised by the symbolic engine (non-polynomial summation, bad domain)."""
+
+
+class PolyhedralError(MiraError):
+    """Raised when a loop nest cannot be represented polyhedrally.
+
+    The paper handles these cases with annotations or the complement trick;
+    we additionally offer a numeric fallback (see DESIGN.md §6).
+    """
+
+
+class CompileError(MiraError):
+    """Raised by the compiler backend during lowering/encoding."""
+
+
+class DisasmError(MiraError):
+    """Raised by the binary decoder on malformed object bytes."""
+
+
+class AnnotationError(MiraError):
+    """Raised for malformed ``#pragma @Annotation`` directives."""
+
+
+class ModelError(MiraError):
+    """Raised during model generation or model evaluation."""
+
+
+class InterpError(MiraError):
+    """Raised by the dynamic-execution substrate (runtime faults)."""

@@ -1,0 +1,22 @@
+"""C/C++ subset frontend: preprocessor, lexer, parser, source AST.
+
+Stands in for the ROSE/EDG frontend the paper builds on (DESIGN.md §2).
+"""
+
+from . import ast_nodes
+from .ast_nodes import TranslationUnit, FunctionDef, ClassDef, walk
+from .lexer import tokenize
+from .parser import Parser, parse_file, parse_source
+from .pragma import Annotation, parse_annotation
+from .preprocessor import preprocess
+from .printer import dump_tree, unparse
+from .traversal import BottomUpPass, TopDownPass, Visitor, postorder, preorder
+from .types import Type, BUILTIN_FUNCTIONS
+
+__all__ = [
+    "Annotation", "BUILTIN_FUNCTIONS", "BottomUpPass", "ClassDef",
+    "FunctionDef", "Parser", "TopDownPass", "TranslationUnit", "Type",
+    "Visitor", "ast_nodes", "dump_tree", "parse_annotation", "parse_file",
+    "parse_source", "postorder", "preorder", "preprocess", "tokenize",
+    "unparse", "walk",
+]

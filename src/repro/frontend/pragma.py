@@ -1,0 +1,115 @@
+"""Parsing of ``#pragma @Annotation`` directives (paper §III-C.4).
+
+The paper defines three annotation kinds that rescue statically intractable
+structures:
+
+1. an estimated **proportion** a branch takes inside a loop, or a numerical
+   **iteration count** — ``{ratio:0.25}`` / ``{iters:500}``,
+2. **variables** standing in for loop initial values / conditions that static
+   analysis cannot obtain — ``{lp_init:x, lp_cond:y}`` (Listing 6),
+3. a **skip flag** for scopes to exclude — ``{skip:yes}``.
+
+Syntax accepted (matching Listing 6)::
+
+    #pragma @Annotation {key:value, key:value}
+
+Values are integers, floats, identifiers (model parameters), or yes/no.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AnnotationError
+
+__all__ = ["Annotation", "parse_annotation", "is_annotation_pragma"]
+
+_HEAD = re.compile(r"#\s*pragma\s+@Annotation\b", re.IGNORECASE)
+_ITEM = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*:\s*([^,{}]+)")
+
+
+@dataclass
+class Annotation:
+    """A parsed annotation payload attached to the following statement."""
+
+    items: dict = field(default_factory=dict)
+    line: int = 0
+
+    # -- convenience accessors ------------------------------------------------
+    @property
+    def skip(self) -> bool:
+        return bool(self.items.get("skip", False))
+
+    @property
+    def ratio(self):
+        """Estimated fraction of enclosing iterations a branch takes."""
+        return self.items.get("ratio")
+
+    @property
+    def iters(self):
+        """Estimated/imposed iteration count for a loop."""
+        return self.items.get("iters")
+
+    @property
+    def lp_init(self):
+        """Symbol naming the loop initial value (paper's ``lp_init:x``)."""
+        return self.items.get("lp_init")
+
+    @property
+    def lp_cond(self):
+        """Symbol naming the loop bound (paper's ``lp_cond:y``)."""
+        return self.items.get("lp_cond")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.items
+
+
+def is_annotation_pragma(text: str) -> bool:
+    """True if a pragma line is a Mira annotation (vs. some other pragma)."""
+    return _HEAD.search(text) is not None
+
+
+def _parse_value(raw: str):
+    raw = raw.strip()
+    if raw.lower() in ("yes", "true"):
+        return True
+    if raw.lower() in ("no", "false"):
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", raw):
+        return raw  # a model parameter name
+    raise AnnotationError(f"cannot parse annotation value {raw!r}")
+
+
+def parse_annotation(text: str, line: int = 0) -> Annotation:
+    """Parse one ``#pragma @Annotation {...}`` line."""
+    m = _HEAD.search(text)
+    if not m:
+        raise AnnotationError(f"not an @Annotation pragma: {text!r}")
+    rest = text[m.end():].strip()
+    # Accept both "{k:v, k:v}" and bare "k:v, k:v".
+    rest = rest.strip()
+    if rest.startswith("{"):
+        if not rest.endswith("}"):
+            raise AnnotationError(f"unbalanced braces in annotation: {text!r}")
+        rest = rest[1:-1]
+    items: dict = {}
+    for im in _ITEM.finditer(rest):
+        items[im.group(1)] = _parse_value(im.group(2))
+    if not items:
+        raise AnnotationError(f"empty annotation: {text!r}")
+    known = {"skip", "ratio", "iters", "lp_init", "lp_cond", "lp_step", "calls"}
+    unknown = set(items) - known
+    if unknown:
+        raise AnnotationError(
+            f"unknown annotation key(s) {sorted(unknown)} (known: {sorted(known)})"
+        )
+    return Annotation(items=items, line=line)

@@ -1,0 +1,152 @@
+"""Source AST pretty-printers: unparse to C-like text and dump as a tree.
+
+The dump format mirrors the ROSE dot-graph fragments in the paper's Figures
+2–3 (node class names per sub-tree), which is handy when debugging loop SCoP
+extraction.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from . import ast_nodes as A
+
+__all__ = ["unparse", "dump_tree"]
+
+
+def dump_tree(node: A.Node, indent: int = 0, out: StringIO | None = None) -> str:
+    """Render the subtree as an indented list of ROSE-style node names."""
+    own = out is None
+    if out is None:
+        out = StringIO()
+    label = node.rose_name
+    detail = ""
+    if isinstance(node, A.Ident):
+        detail = f" {node.name}"
+    elif isinstance(node, A.IntLit):
+        detail = f" {node.value}"
+    elif isinstance(node, A.FloatLit):
+        detail = f" {node.text}"
+    elif isinstance(node, A.BinOp):
+        detail = f" {node.op}"
+    elif isinstance(node, A.Assign):
+        detail = f" {node.op}"
+    elif isinstance(node, A.UnOp):
+        detail = f" {node.op}"
+        if node.op == "++":
+            label = "SgPlusPlusOp"
+        elif node.op == "--":
+            label = "SgMinusMinusOp"
+    elif isinstance(node, (A.FunctionDef,)):
+        detail = f" {node.qualified_name}"
+    elif isinstance(node, (A.VarDecl, A.ParamDecl)):
+        detail = f" {node.name}"
+    out.write("  " * indent + f"{label}{detail} @{node.line}\n")
+    for c in node.children():
+        dump_tree(c, indent + 1, out)
+    if own:
+        return out.getvalue()
+    return ""
+
+
+def _prec_wrap(s: str) -> str:
+    return f"({s})"
+
+
+def unparse_expr(e: A.Expr) -> str:
+    if isinstance(e, A.IntLit):
+        return str(e.value)
+    if isinstance(e, A.FloatLit):
+        return e.text
+    if isinstance(e, A.CharLit):
+        return repr(e.value)
+    if isinstance(e, A.StringLit):
+        return '"' + e.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.BinOp):
+        return _prec_wrap(f"{unparse_expr(e.lhs)} {e.op} {unparse_expr(e.rhs)}")
+    if isinstance(e, A.UnOp):
+        inner = unparse_expr(e.operand)
+        return f"{e.op}{inner}" if e.prefix else f"{inner}{e.op}"
+    if isinstance(e, A.Assign):
+        return f"{unparse_expr(e.target)} {e.op} {unparse_expr(e.value)}"
+    if isinstance(e, A.Ternary):
+        return _prec_wrap(
+            f"{unparse_expr(e.cond)} ? {unparse_expr(e.then)} : {unparse_expr(e.els)}"
+        )
+    if isinstance(e, A.Call):
+        args = ", ".join(unparse_expr(a) for a in e.args)
+        return f"{unparse_expr(e.callee)}({args})"
+    if isinstance(e, A.Member):
+        sep = "->" if e.arrow else "."
+        return f"{unparse_expr(e.obj)}{sep}{e.name}"
+    if isinstance(e, A.Index):
+        return f"{unparse_expr(e.base)}[{unparse_expr(e.index)}]"
+    if isinstance(e, A.Cast):
+        return f"({e.type}){unparse_expr(e.expr)}"
+    if isinstance(e, A.SizeOf):
+        inner = str(e.arg) if not isinstance(e.arg, A.Expr) else unparse_expr(e.arg)
+        return f"sizeof({inner})"
+    raise TypeError(f"cannot unparse {type(e).__name__}")
+
+
+def unparse(node: A.Node, indent: int = 0) -> str:
+    """Unparse a statement/declaration subtree back to C-ish source."""
+    pad = "  " * indent
+    if isinstance(node, A.Expr):
+        return unparse_expr(node)
+    if isinstance(node, A.ExprStmt):
+        return f"{pad}{unparse_expr(node.expr)};"
+    if isinstance(node, A.NullStmt):
+        return f"{pad};"
+    if isinstance(node, A.DeclStmt):
+        parts = []
+        for d in node.decls:
+            dims = "".join(f"[{unparse_expr(x)}]" for x in d.array_dims)
+            init = f" = {unparse_expr(d.init)}" if d.init is not None else ""
+            parts.append(f"{d.type} {d.name}{dims}{init}")
+        return pad + "; ".join(parts) + ";"
+    if isinstance(node, A.CompoundStmt):
+        inner = "\n".join(unparse(s, indent + 1) for s in node.stmts)
+        return f"{pad}{{\n{inner}\n{pad}}}"
+    if isinstance(node, A.IfStmt):
+        s = f"{pad}if ({unparse_expr(node.cond)})\n{unparse(node.then, indent)}"
+        if node.els is not None:
+            s += f"\n{pad}else\n{unparse(node.els, indent)}"
+        return s
+    if isinstance(node, A.ForStmt):
+        init = unparse(node.init, 0).strip().rstrip(";") if node.init else ""
+        cond = unparse_expr(node.cond) if node.cond is not None else ""
+        incr = unparse_expr(node.incr) if node.incr is not None else ""
+        return f"{pad}for ({init}; {cond}; {incr})\n{unparse(node.body, indent)}"
+    if isinstance(node, A.WhileStmt):
+        return f"{pad}while ({unparse_expr(node.cond)})\n{unparse(node.body, indent)}"
+    if isinstance(node, A.DoWhileStmt):
+        return (f"{pad}do\n{unparse(node.body, indent)}\n"
+                f"{pad}while ({unparse_expr(node.cond)});")
+    if isinstance(node, A.ReturnStmt):
+        if node.expr is None:
+            return f"{pad}return;"
+        return f"{pad}return {unparse_expr(node.expr)};"
+    if isinstance(node, A.BreakStmt):
+        return f"{pad}break;"
+    if isinstance(node, A.ContinueStmt):
+        return f"{pad}continue;"
+    if isinstance(node, A.FunctionDef):
+        params = ", ".join(f"{p.type} {p.name}" for p in node.params)
+        head = f"{pad}{node.return_type} {node.name}({params})"
+        return head + "\n" + unparse(node.body, indent)
+    if isinstance(node, A.ClassDef):
+        kw = "struct" if node.is_struct else "class"
+        fields = "\n".join(
+            f"{pad}  {f.type} {f.name};" for f in node.fields
+        )
+        methods = "\n".join(unparse(m, indent + 1) for m in node.methods)
+        return f"{pad}{kw} {node.name} {{\n{fields}\n{methods}\n{pad}}};"
+    if isinstance(node, A.TranslationUnit):
+        parts = [unparse(c) for c in node.classes]
+        parts += [unparse(g) for g in node.globals]
+        parts += [unparse(f) for f in node.functions]
+        return "\n\n".join(parts)
+    raise TypeError(f"cannot unparse {type(node).__name__}")

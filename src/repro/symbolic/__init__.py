@@ -1,0 +1,49 @@
+"""Exact symbolic engine used for parametric performance expressions.
+
+See :mod:`repro.symbolic.expr` for the expression nodes,
+:mod:`repro.symbolic.poly` for polynomial canonicalization and Faulhaber
+power sums, :mod:`repro.symbolic.summation` for symbolic summation, and
+:mod:`repro.symbolic.pycodegen` for Python code emission.
+"""
+
+from .expr import (
+    Add,
+    Expr,
+    FloorDiv,
+    Int,
+    Max,
+    Min,
+    Mul,
+    ONE,
+    Pow,
+    Sum,
+    Sym,
+    ZERO,
+    as_expr,
+)
+from .poly import Polynomial, expr_to_poly, power_sum_poly
+from .pycodegen import expr_to_python
+from .summation import range_size, sum_expr, sum_poly_closed_form
+
+__all__ = [
+    "Add",
+    "Expr",
+    "FloorDiv",
+    "Int",
+    "Max",
+    "Min",
+    "Mul",
+    "ONE",
+    "Polynomial",
+    "Pow",
+    "Sum",
+    "Sym",
+    "ZERO",
+    "as_expr",
+    "expr_to_poly",
+    "expr_to_python",
+    "power_sum_poly",
+    "range_size",
+    "sum_expr",
+    "sum_poly_closed_form",
+]

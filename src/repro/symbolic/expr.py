@@ -1,0 +1,619 @@
+"""A small exact symbolic-expression engine.
+
+Mira's generated models contain *parametric expressions*: loop trip counts
+that depend on user inputs (array sizes, annotation variables).  The paper
+keeps such expressions symbolic until model-evaluation time.  SymPy is not
+available in this environment, so this module implements the small exact CAS
+the framework needs:
+
+* immutable expression nodes (:class:`Int`, :class:`Sym`, :class:`Add`,
+  :class:`Mul`, :class:`Pow`, :class:`FloorDiv`, :class:`Max`, :class:`Min`,
+  :class:`Sum`),
+* constructor-level canonicalization (constant folding, flattening,
+  like-term collection through the polynomial backend in :mod:`.poly`),
+* exact evaluation over :class:`fractions.Fraction`,
+* substitution, and
+* free-variable queries.
+
+All arithmetic is exact; floats never enter the engine.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+from ..errors import SymbolicError
+
+Number = Union[int, Fraction]
+ExprLike = Union["Expr", int, Fraction]
+
+__all__ = [
+    "Expr",
+    "Int",
+    "Sym",
+    "Add",
+    "Mul",
+    "Pow",
+    "FloorDiv",
+    "Max",
+    "Min",
+    "Sum",
+    "as_expr",
+    "ZERO",
+    "ONE",
+]
+
+
+def _floor_fraction(x: Fraction) -> int:
+    """Exact floor of a rational number."""
+    return x.numerator // x.denominator
+
+
+class Expr:
+    """Base class for all symbolic expressions.
+
+    Expressions are immutable and hashable; equality is structural.
+    """
+
+    __slots__ = ("_hash",)
+
+    # -- construction helpers -------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add.make((self, as_expr(other)))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add.make((as_expr(other), self))
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add.make((self, Mul.make((Int(-1), as_expr(other)))))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Add.make((as_expr(other), Mul.make((Int(-1), self))))
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul.make((self, as_expr(other)))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul.make((as_expr(other), self))
+
+    def __neg__(self) -> "Expr":
+        return Mul.make((Int(-1), self))
+
+    def __pow__(self, exp: int) -> "Expr":
+        return Pow.make(self, exp)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv.make(self, as_expr(other))
+
+    def __truediv__(self, other: ExprLike) -> "Expr":
+        other = as_expr(other)
+        if isinstance(other, Int):
+            if other.value == 0:
+                raise SymbolicError("division by zero")
+            return Mul.make((self, Int(Fraction(1, 1) / other.value)))
+        raise SymbolicError(
+            "exact division by a symbolic expression is not supported; "
+            "use FloorDiv for integer division"
+        )
+
+    # -- interface ------------------------------------------------------------
+    def free_symbols(self) -> frozenset:
+        raise NotImplementedError
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> "Expr":
+        """Substitute symbols by name.  Values may be numbers or Exprs."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        """Exactly evaluate with the given variable bindings."""
+        raise NotImplementedError
+
+    def evaluate_int(self, env: Mapping[str, Number] | None = None) -> int:
+        """Evaluate and require an integer result."""
+        v = self.evaluate(env)
+        if v.denominator != 1:
+            raise SymbolicError(f"expected integer value, got {v}")
+        return v.numerator
+
+    def is_constant(self) -> bool:
+        return not self.free_symbols()
+
+    def sort_key(self) -> tuple:
+        return (type(self).__name__, str(self))
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - per subclass
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - per subclass
+        raise NotImplementedError
+
+
+class Int(Expr):
+    """An exact rational constant (named Int for the common case)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number) -> None:
+        if isinstance(value, bool):  # bool is an int subclass; reject it
+            raise SymbolicError("boolean is not a numeric constant")
+        if isinstance(value, int):
+            value = Fraction(value)
+        if not isinstance(value, Fraction):
+            raise SymbolicError(f"Int requires an exact number, got {type(value)!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Expr nodes are immutable")
+
+    def free_symbols(self) -> frozenset:
+        return frozenset()
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return self
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        return self.value
+
+    def __repr__(self) -> str:
+        if self.value.denominator == 1:
+            return str(self.value.numerator)
+        return f"({self.value.numerator}/{self.value.denominator})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Int) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Int", self.value))
+
+
+class Sym(Expr):
+    """A free symbol (model parameter or loop index)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise SymbolicError("symbol name must be a non-empty string")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    def free_symbols(self) -> frozenset:
+        return frozenset({self.name})
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        if self.name in mapping:
+            return as_expr(mapping[self.name])
+        return self
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        if env is None or self.name not in env:
+            raise SymbolicError(f"unbound symbol {self.name!r}")
+        v = env[self.name]
+        if isinstance(v, float):
+            raise SymbolicError(f"float binding for {self.name!r}; use int/Fraction")
+        return Fraction(v)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sym) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Sym", self.name))
+
+
+class _NAry(Expr):
+    """Shared machinery for Add/Mul."""
+
+    __slots__ = ("args",)
+    _symbol = "?"
+
+    def __init__(self, args: tuple) -> None:
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for a in self.args:
+            out |= a.free_symbols()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + f" {self._symbol} ".join(map(repr, self.args)) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.args))
+
+
+def _try_poly_canonical(args: Iterable[Expr], op: str) -> Expr | None:
+    """Canonicalize a sum/product through the polynomial backend when every
+    operand is polynomial.  Returns None when any operand is non-polynomial
+    (Max/Min/FloorDiv/Sum), in which case light flattening is used instead."""
+    from .poly import Polynomial, expr_to_poly  # local import: avoid cycle
+
+    polys = []
+    for a in args:
+        p = expr_to_poly(a)
+        if p is None:
+            return None
+        polys.append(p)
+    if op == "+":
+        acc = Polynomial.zero()
+        for p in polys:
+            acc = acc + p
+    else:
+        acc = Polynomial.const(1)
+        for p in polys:
+            acc = acc * p
+    return acc.to_expr()
+
+
+class Add(_NAry):
+    """n-ary sum."""
+
+    __slots__ = ()
+    _symbol = "+"
+
+    @staticmethod
+    def make(args: Iterable[ExprLike]) -> Expr:
+        args = tuple(as_expr(a) for a in args)
+        canon = _try_poly_canonical(args, "+")
+        if canon is not None:
+            return canon
+        # Light canonicalization: flatten nested adds, fold constants.
+        flat: list[Expr] = []
+        const = Fraction(0)
+        for a in args:
+            if isinstance(a, Add):
+                for b in a.args:
+                    if isinstance(b, Int):
+                        const += b.value
+                    else:
+                        flat.append(b)
+            elif isinstance(a, Int):
+                const += a.value
+            else:
+                flat.append(a)
+        if const != 0:
+            flat.append(Int(const))
+        if not flat:
+            return Int(0)
+        if len(flat) == 1:
+            return flat[0]
+        return Add(tuple(flat))
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return Add.make(tuple(a.subs(mapping) for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        total = Fraction(0)
+        for a in self.args:
+            total += a.evaluate(env)
+        return total
+
+
+class Mul(_NAry):
+    """n-ary product."""
+
+    __slots__ = ()
+    _symbol = "*"
+
+    @staticmethod
+    def make(args: Iterable[ExprLike]) -> Expr:
+        args = tuple(as_expr(a) for a in args)
+        canon = _try_poly_canonical(args, "*")
+        if canon is not None:
+            return canon
+        flat: list[Expr] = []
+        const = Fraction(1)
+        for a in args:
+            if isinstance(a, Mul):
+                for b in a.args:
+                    if isinstance(b, Int):
+                        const *= b.value
+                    else:
+                        flat.append(b)
+            elif isinstance(a, Int):
+                const *= a.value
+            else:
+                flat.append(a)
+        if const == 0:
+            return Int(0)
+        if const != 1:
+            flat.insert(0, Int(const))
+        if not flat:
+            return Int(1)
+        if len(flat) == 1:
+            return flat[0]
+        return Mul(tuple(flat))
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return Mul.make(tuple(a.subs(mapping) for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        total = Fraction(1)
+        for a in self.args:
+            total *= a.evaluate(env)
+            if total == 0:
+                return total
+        return total
+
+
+class Pow(Expr):
+    """Integer power with non-negative exponent."""
+
+    __slots__ = ("base", "exp")
+
+    def __init__(self, base: Expr, exp: int) -> None:
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "exp", exp)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    @staticmethod
+    def make(base: ExprLike, exp: int) -> Expr:
+        if not isinstance(exp, int) or exp < 0:
+            raise SymbolicError("Pow requires a non-negative integer exponent")
+        base = as_expr(base)
+        if exp == 0:
+            return Int(1)
+        if exp == 1:
+            return base
+        if isinstance(base, Int):
+            return Int(base.value ** exp)
+        from .poly import expr_to_poly
+
+        p = expr_to_poly(base)
+        if p is not None:
+            return (p ** exp).to_expr()
+        return Pow(base, exp)
+
+    def free_symbols(self) -> frozenset:
+        return self.base.free_symbols()
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return Pow.make(self.base.subs(mapping), self.exp)
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        return self.base.evaluate(env) ** self.exp
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}**{self.exp}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Pow) and self.base == other.base and self.exp == other.exp
+
+    def __hash__(self) -> int:
+        return hash(("Pow", self.base, self.exp))
+
+
+class FloorDiv(Expr):
+    """Floor division ``num // den`` (den constant, nonzero).
+
+    Appears in strided-loop trip counts and modular complement counting.
+    """
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Expr, den: Expr) -> None:
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "den", den)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    @staticmethod
+    def make(num: ExprLike, den: ExprLike) -> Expr:
+        num = as_expr(num)
+        den = as_expr(den)
+        if isinstance(den, Int) and den.value == 0:
+            raise SymbolicError("floor division by zero")
+        if isinstance(num, Int) and isinstance(den, Int):
+            return Int(_floor_fraction(num.value / den.value))
+        if isinstance(den, Int) and den.value == 1:
+            return num
+        return FloorDiv(num, den)
+
+    def free_symbols(self) -> frozenset:
+        return self.num.free_symbols() | self.den.free_symbols()
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return FloorDiv.make(self.num.subs(mapping), self.den.subs(mapping))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        d = self.den.evaluate(env)
+        if d == 0:
+            raise SymbolicError("floor division by zero at evaluation")
+        return Fraction(_floor_fraction(self.num.evaluate(env) / d))
+
+    def __repr__(self) -> str:
+        return f"({self.num!r} // {self.den!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloorDiv) and self.num == other.num and self.den == other.den
+
+    def __hash__(self) -> int:
+        return hash(("FloorDiv", self.num, self.den))
+
+
+class _MinMax(Expr):
+    __slots__ = ("args",)
+    _pick = None  # overridden
+
+    def __init__(self, args: tuple) -> None:
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    @classmethod
+    def make(cls, args: Iterable[ExprLike]) -> Expr:
+        flat: list[Expr] = []
+        consts: list[Fraction] = []
+        for a in args:
+            a = as_expr(a)
+            if isinstance(a, cls):
+                for b in a.args:
+                    (consts if isinstance(b, Int) else flat).append(
+                        b.value if isinstance(b, Int) else b
+                    )
+            elif isinstance(a, Int):
+                consts.append(a.value)
+            else:
+                flat.append(a)
+        if consts:
+            flat.append(Int(cls._pick(consts)))
+        # dedupe structurally, keep order stable
+        seen = set()
+        uniq = []
+        for a in flat:
+            if a not in seen:
+                seen.add(a)
+                uniq.append(a)
+        if len(uniq) == 1:
+            return uniq[0]
+        if not uniq:
+            raise SymbolicError(f"{cls.__name__} of no arguments")
+        return cls(tuple(uniq))
+
+    def free_symbols(self) -> frozenset:
+        out: frozenset = frozenset()
+        for a in self.args:
+            out |= a.free_symbols()
+        return out
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        return type(self).make(tuple(a.subs(mapping) for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        return type(self)._pick([a.evaluate(env) for a in self.args])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(map(repr, self.args))})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and self.args == other.args
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.args))
+
+
+class Max(_MinMax):
+    """Maximum of several expressions (e.g. clamped loop lower bounds)."""
+
+    __slots__ = ()
+    _pick = staticmethod(max)
+
+
+class Min(_MinMax):
+    """Minimum of several expressions (e.g. clamped loop upper bounds)."""
+
+    __slots__ = ()
+    _pick = staticmethod(min)
+
+
+class Sum(Expr):
+    """A lazy summation ``sum(body for var in [lo, hi])``.
+
+    Used as a *numeric fallback* when no closed form exists (non-convex
+    domains, parametric min/max bounds — DESIGN.md §6).  Evaluation iterates
+    the range; an empty range contributes 0 (this clamps negative trip counts
+    exactly like real loop execution).
+    """
+
+    __slots__ = ("body", "var", "lo", "hi")
+
+    def __init__(self, body: Expr, var: str, lo: Expr, hi: Expr) -> None:
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expr nodes are immutable")
+
+    @staticmethod
+    def make(body: ExprLike, var: str, lo: ExprLike, hi: ExprLike) -> Expr:
+        body = as_expr(body)
+        lo = as_expr(lo)
+        hi = as_expr(hi)
+        if isinstance(lo, Int) and isinstance(hi, Int) and not (
+            body.free_symbols() - {var}
+        ):
+            # Fully concrete: fold immediately.
+            total = Fraction(0)
+            i = _floor_fraction(lo.value) if lo.value.denominator != 1 else lo.value.numerator
+            hi_i = hi.value
+            k = i
+            while Fraction(k) <= hi_i:
+                total += body.evaluate({var: k})
+                k += 1
+            return Int(total)
+        return Sum(body, var, lo, hi)
+
+    def free_symbols(self) -> frozenset:
+        return (
+            (self.body.free_symbols() - {self.var})
+            | self.lo.free_symbols()
+            | self.hi.free_symbols()
+        )
+
+    def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
+        inner = {k: v for k, v in mapping.items() if k != self.var}
+        return Sum.make(
+            self.body.subs(inner), self.var, self.lo.subs(mapping), self.hi.subs(mapping)
+        )
+
+    def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        env = dict(env or {})
+        lo = self.lo.evaluate(env)
+        hi = self.hi.evaluate(env)
+        k = _floor_fraction(lo) if lo.denominator != 1 else lo.numerator
+        if Fraction(k) < lo:
+            k += 1
+        total = Fraction(0)
+        while Fraction(k) <= hi:
+            env[self.var] = k
+            total += self.body.evaluate(env)
+            k += 1
+        return total
+
+    def __repr__(self) -> str:
+        return f"Sum({self.body!r}, {self.var}={self.lo!r}..{self.hi!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Sum)
+            and self.body == other.body
+            and self.var == other.var
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Sum", self.body, self.var, self.lo, self.hi))
+
+
+ZERO = Int(0)
+ONE = Int(1)
+
+
+def as_expr(x: ExprLike) -> Expr:
+    """Coerce ints/Fractions/Exprs into Expr."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        raise SymbolicError("cannot coerce bool to Expr")
+    if isinstance(x, (int, Fraction)):
+        return Int(x)
+    raise SymbolicError(f"cannot coerce {type(x).__name__} to Expr")

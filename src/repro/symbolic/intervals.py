@@ -1,0 +1,98 @@
+"""Interval evaluation of symbolic expressions.
+
+Used by the polyhedral counter to decide whether a loop's trip count can be
+negative for some enclosing iteration (in which case the count must be
+clamped with ``max(0, .)``, sacrificing the polynomial closed form) or is
+provably non-negative (closed form safe).  Parametric expressions whose
+symbols have no known interval return None — "undecidable", in which case
+the counter falls back to the paper's well-formed-loop assumption.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Optional
+
+from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
+
+__all__ = ["interval_eval", "Interval"]
+
+Interval = tuple  # (Fraction lo, Fraction hi)
+
+
+def _mul_iv(a: Interval, b: Interval) -> Interval:
+    products = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
+    return (min(products), max(products))
+
+
+def _floor(x: Fraction) -> Fraction:
+    return Fraction(x.numerator // x.denominator)
+
+
+def interval_eval(e: Expr, env: Mapping[str, Interval]) -> Optional[Interval]:
+    """Conservative interval of ``e`` given variable intervals, or None."""
+    if isinstance(e, Int):
+        return (e.value, e.value)
+    if isinstance(e, Sym):
+        return env.get(e.name)
+    if isinstance(e, Add):
+        lo = Fraction(0)
+        hi = Fraction(0)
+        for a in e.args:
+            iv = interval_eval(a, env)
+            if iv is None:
+                return None
+            lo += iv[0]
+            hi += iv[1]
+        return (lo, hi)
+    if isinstance(e, Mul):
+        acc: Interval = (Fraction(1), Fraction(1))
+        for a in e.args:
+            iv = interval_eval(a, env)
+            if iv is None:
+                return None
+            acc = _mul_iv(acc, iv)
+        return acc
+    if isinstance(e, Pow):
+        iv = interval_eval(e.base, env)
+        if iv is None:
+            return None
+        acc: Interval = (Fraction(1), Fraction(1))
+        for _ in range(e.exp):
+            acc = _mul_iv(acc, iv)
+        # tighten even powers of sign-crossing bases
+        if e.exp % 2 == 0 and iv[0] < 0 < iv[1]:
+            acc = (Fraction(0), acc[1])
+        return acc
+    if isinstance(e, FloorDiv):
+        num = interval_eval(e.num, env)
+        den = interval_eval(e.den, env)
+        if num is None or den is None:
+            return None
+        if den[0] <= 0 <= den[1]:
+            return None  # division by a range containing zero: give up
+        corners = [_floor(num[i] / den[j]) for i in (0, 1) for j in (0, 1)]
+        return (min(corners), max(corners))
+    if isinstance(e, Max):
+        los = []
+        his = []
+        for a in e.args:
+            iv = interval_eval(a, env)
+            if iv is None:
+                return None
+            los.append(iv[0])
+            his.append(iv[1])
+        return (max(los), max(his))
+    if isinstance(e, Min):
+        los = []
+        his = []
+        for a in e.args:
+            iv = interval_eval(a, env)
+            if iv is None:
+                return None
+            los.append(iv[0])
+            his.append(iv[1])
+        return (min(los), min(his))
+    if isinstance(e, Sum):
+        return None  # not needed; lazy sums already evaluate exactly
+    return None

@@ -1,0 +1,247 @@
+"""Exact multivariate polynomials over rationals.
+
+The polyhedral counting engine reduces parametric lattice-point counts to
+nested summations of polynomials in loop indices with coefficients in the
+model parameters.  This module provides the canonical polynomial arithmetic
+and the Faulhaber power-sum closed forms that make those summations exact.
+
+A polynomial is stored as ``{monomial: coefficient}`` where a monomial is a
+sorted tuple of ``(variable_name, exponent)`` pairs and coefficients are
+:class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import comb
+from typing import Mapping, Optional, Union
+
+from ..errors import SymbolicError
+from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
+
+Monomial = tuple  # tuple[tuple[str, int], ...]
+Number = Union[int, Fraction]
+
+__all__ = ["Polynomial", "expr_to_poly", "power_sum_poly"]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    out: dict[str, int] = {}
+    for v, e in a:
+        out[v] = out.get(v, 0) + e
+    for v, e in b:
+        out[v] = out.get(v, 0) + e
+    return tuple(sorted((v, e) for v, e in out.items() if e))
+
+
+class Polynomial:
+    """Immutable exact multivariate polynomial."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Fraction]) -> None:
+        clean = {m: Fraction(c) for m, c in terms.items() if c != 0}
+        object.__setattr__(self, "terms", clean)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Polynomial is immutable")
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def zero() -> "Polynomial":
+        return Polynomial({})
+
+    @staticmethod
+    def const(c: Number) -> "Polynomial":
+        return Polynomial({(): Fraction(c)})
+
+    @staticmethod
+    def var(name: str) -> "Polynomial":
+        return Polynomial({((name, 1),): Fraction(1)})
+
+    # -- arithmetic ------------------------------------------------------------
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self.terms)
+        for m, c in other.terms.items():
+            terms[m] = terms.get(m, Fraction(0)) + c
+        return Polynomial(terms)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self.terms)
+        for m, c in other.terms.items():
+            terms[m] = terms.get(m, Fraction(0)) - c
+        return Polynomial(terms)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = _mono_mul(m1, m2)
+                terms[m] = terms.get(m, Fraction(0)) + c1 * c2
+        return Polynomial(terms)
+
+    def __pow__(self, exp: int) -> "Polynomial":
+        if not isinstance(exp, int) or exp < 0:
+            raise SymbolicError("polynomial power requires non-negative int")
+        out = Polynomial.const(1)
+        base = self
+        e = exp
+        while e:
+            if e & 1:
+                out = out * base
+            base = base * base
+            e >>= 1
+        return out
+
+    def scale(self, c: Number) -> "Polynomial":
+        c = Fraction(c)
+        return Polynomial({m: cc * c for m, cc in self.terms.items()})
+
+    # -- queries ---------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def is_constant(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise SymbolicError("polynomial is not constant")
+        return self.terms.get((), Fraction(0))
+
+    def variables(self) -> frozenset:
+        out = set()
+        for m in self.terms:
+            for v, _ in m:
+                out.add(v)
+        return frozenset(out)
+
+    def degree(self, var: str) -> int:
+        deg = 0
+        for m in self.terms:
+            for v, e in m:
+                if v == var:
+                    deg = max(deg, e)
+        return deg
+
+    def coeffs_in(self, var: str) -> dict[int, "Polynomial"]:
+        """View the polynomial as a univariate polynomial in ``var`` with
+        polynomial coefficients in the remaining variables."""
+        out: dict[int, dict[Monomial, Fraction]] = {}
+        for m, c in self.terms.items():
+            e_var = 0
+            rest = []
+            for v, e in m:
+                if v == var:
+                    e_var = e
+                else:
+                    rest.append((v, e))
+            bucket = out.setdefault(e_var, {})
+            rm = tuple(rest)
+            bucket[rm] = bucket.get(rm, Fraction(0)) + c
+        return {e: Polynomial(t) for e, t in out.items()}
+
+    # -- substitution / evaluation ----------------------------------------------
+    def subs_poly(self, var: str, value: "Polynomial") -> "Polynomial":
+        """Substitute a polynomial for a variable (exact composition)."""
+        out = Polynomial.zero()
+        for e, coeff in self.coeffs_in(var).items():
+            out = out + coeff * (value ** e)
+        return out
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        total = Fraction(0)
+        for m, c in self.terms.items():
+            term = c
+            for v, e in m:
+                if v not in env:
+                    raise SymbolicError(f"unbound variable {v!r} in polynomial")
+                term *= Fraction(env[v]) ** e
+            total += term
+        return total
+
+    # -- conversion --------------------------------------------------------------
+    def to_expr(self) -> Expr:
+        """Convert to a canonical Expr (sorted deterministic term order)."""
+        if not self.terms:
+            return Int(0)
+        items = sorted(self.terms.items(), key=lambda kv: (-len(kv[0]), kv[0]))
+        parts: list[Expr] = []
+        for m, c in items:
+            factors: list[Expr] = []
+            if c != 1 or not m:
+                factors.append(Int(c))
+            for v, e in m:
+                factors.append(Pow(Sym(v), e) if e > 1 else Sym(v))
+            if len(factors) == 1:
+                parts.append(factors[0])
+            else:
+                parts.append(Mul(tuple(factors)))
+        if len(parts) == 1:
+            return parts[0]
+        return Add(tuple(parts))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polynomial) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self.to_expr()!r})"
+
+
+def expr_to_poly(e: Expr) -> Optional[Polynomial]:
+    """Convert an Expr to a Polynomial, or None if non-polynomial
+    (contains FloorDiv, Max, Min, or Sum nodes)."""
+    if isinstance(e, Int):
+        return Polynomial.const(e.value)
+    if isinstance(e, Sym):
+        return Polynomial.var(e.name)
+    if isinstance(e, Add):
+        out = Polynomial.zero()
+        for a in e.args:
+            p = expr_to_poly(a)
+            if p is None:
+                return None
+            out = out + p
+        return out
+    if isinstance(e, Mul):
+        out = Polynomial.const(1)
+        for a in e.args:
+            p = expr_to_poly(a)
+            if p is None:
+                return None
+            out = out * p
+        return out
+    if isinstance(e, Pow):
+        p = expr_to_poly(e.base)
+        if p is None:
+            return None
+        return p ** e.exp
+    if isinstance(e, (FloorDiv, Max, Min, Sum)):
+        return None
+    raise SymbolicError(f"unknown expression node {type(e).__name__}")
+
+
+@lru_cache(maxsize=None)
+def power_sum_poly(p: int) -> Polynomial:
+    """Faulhaber closed form: ``S_p(n) = sum_{k=1}^{n} k^p`` as a polynomial
+    in the variable ``n`` (degree p+1), exact over rationals.
+
+    Uses the recursion
+    ``(p+1) * S_p(n) = (n+1)^(p+1) - 1 - sum_{j<p} C(p+1, j) S_j(n)``.
+    """
+    if p < 0:
+        raise SymbolicError("power_sum_poly requires p >= 0")
+    n = Polynomial.var("n")
+    if p == 0:
+        return n
+    acc = (n + Polynomial.const(1)) ** (p + 1) - Polynomial.const(1)
+    for j in range(p):
+        acc = acc - power_sum_poly(j).scale(comb(p + 1, j))
+    return acc.scale(Fraction(1, p + 1))

@@ -1,0 +1,53 @@
+"""Emit Python source code for symbolic expressions.
+
+Mira's output is an executable Python model (paper Fig. 5).  Parametric
+iteration-count expressions must therefore be rendered as Python code that
+evaluates exactly.  Rational coefficients are emitted as ``Fraction`` calls
+(the generated model imports ``Fraction`` from the standard library), and the
+lazy ``Sum`` fallback is rendered as a call to the ``_mira_sum`` helper from
+:mod:`repro.core.model_runtime`.
+"""
+
+from __future__ import annotations
+
+from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
+
+__all__ = ["expr_to_python"]
+
+
+def expr_to_python(e: Expr) -> str:
+    """Render an Expr as a Python expression string.
+
+    The string assumes ``from fractions import Fraction`` and the
+    ``_mira_sum`` helper are in scope (both are emitted in the model
+    preamble by the model generator).
+    """
+    return _emit(e)
+
+
+def _emit(e: Expr) -> str:
+    if isinstance(e, Int):
+        if e.value.denominator == 1:
+            v = e.value.numerator
+            return str(v) if v >= 0 else f"({v})"
+        return f"Fraction({e.value.numerator}, {e.value.denominator})"
+    if isinstance(e, Sym):
+        return e.name
+    if isinstance(e, Add):
+        return "(" + " + ".join(_emit(a) for a in e.args) + ")"
+    if isinstance(e, Mul):
+        return "(" + " * ".join(_emit(a) for a in e.args) + ")"
+    if isinstance(e, Pow):
+        return f"({_emit(e.base)} ** {e.exp})"
+    if isinstance(e, FloorDiv):
+        return f"(({_emit(e.num)}) // ({_emit(e.den)}))"
+    if isinstance(e, Max):
+        return "max(" + ", ".join(_emit(a) for a in e.args) + ")"
+    if isinstance(e, Min):
+        return "min(" + ", ".join(_emit(a) for a in e.args) + ")"
+    if isinstance(e, Sum):
+        body = _emit(e.body)
+        return (
+            f"_mira_sum(lambda {e.var}: {body}, {_emit(e.lo)}, {_emit(e.hi)})"
+        )
+    raise TypeError(f"cannot emit Python for {type(e).__name__}")

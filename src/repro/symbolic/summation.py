@@ -1,0 +1,96 @@
+"""Symbolic summation over integer ranges.
+
+This is the workhorse behind parametric polyhedral counting: a loop nest's
+lattice-point count is a nested sum of trip-count expressions, and
+:func:`sum_expr` turns each level into a closed form whenever possible.
+
+Strategy ladder (first match wins):
+
+1. **Body independent of the summation variable** — multiply by the clamped
+   range size ``max(0, hi - lo + 1)``.  This covers bounds containing
+   ``Max``/``Min``/``FloorDiv`` (clamped loop bounds, strided trip counts)
+   because no polynomial structure is required.
+2. **Polynomial body and bounds** — exact Faulhaber closed form.
+3. **Anything else** — a lazy :class:`~repro.symbolic.expr.Sum` node,
+   evaluated numerically at model-evaluation time.  (The paper requires user
+   annotations here; the numeric fallback is our extension, DESIGN.md §6.)
+
+Closed forms assume the range is well-formed (``lo <= hi + 1``), the standard
+polyhedral-model assumption for loop nests; the lazy fallback and the clamped
+fast path are exact for empty ranges too.
+"""
+
+from __future__ import annotations
+
+from ..errors import SymbolicError
+from .expr import Expr, Int, Max, Sum, as_expr
+from .poly import Polynomial, expr_to_poly, power_sum_poly
+
+__all__ = ["sum_expr", "sum_poly_closed_form", "range_size"]
+
+
+def range_size(lo: Expr, hi: Expr, *, clamp: bool = True) -> Expr:
+    """Number of integers in ``[lo, hi]``: ``hi - lo + 1``.
+
+    With ``clamp=True`` the result is wrapped in ``Max(0, .)`` unless it is a
+    constant, matching the semantics of a loop whose range may be empty.
+    """
+    n = as_expr(hi) - as_expr(lo) + 1
+    if isinstance(n, Int):
+        return n if n.value >= 0 else Int(0)
+    if not clamp:
+        return n
+    return Max.make((Int(0), n))
+
+
+def sum_poly_closed_form(body: Polynomial, var: str, lo: Expr, hi: Expr) -> Expr:
+    """Closed form of ``sum_{var=lo}^{hi} body`` for polynomial body/bounds.
+
+    Assumes ``lo <= hi + 1``; an exactly-empty range (``lo == hi + 1``)
+    correctly yields 0.  Uses Faulhaber:
+    ``sum_{k=lo}^{hi} k^p = S_p(hi) - S_p(lo-1)``.
+    """
+    lo_p = expr_to_poly(lo)
+    hi_p = expr_to_poly(hi)
+    if lo_p is None or hi_p is None:
+        raise SymbolicError("closed-form summation requires polynomial bounds")
+    if var in lo_p.variables() or var in hi_p.variables():
+        raise SymbolicError(f"summation bounds must not depend on {var!r}")
+    lom1 = lo_p - Polynomial.const(1)
+    out = Polynomial.zero()
+    for p, coeff in body.coeffs_in(var).items():
+        s = power_sum_poly(p)
+        term = s.subs_poly("n", hi_p) - s.subs_poly("n", lom1)
+        out = out + coeff * term
+    return out.to_expr()
+
+
+def sum_expr(body: Expr, var: str, lo: Expr, hi: Expr, *, clamp: bool = True) -> Expr:
+    """Symbolically compute ``sum(body for var in [lo, hi])``.
+
+    See the module docstring for the strategy ladder.  ``clamp`` controls
+    whether the body-independent fast path guards against empty ranges.
+    """
+    body = as_expr(body)
+    lo = as_expr(lo)
+    hi = as_expr(hi)
+
+    if isinstance(lo, Int) and isinstance(hi, Int) and lo.value > hi.value:
+        return Int(0)
+
+    if var not in body.free_symbols():
+        return body * range_size(lo, hi, clamp=clamp)
+
+    # A possibly-empty range (clamp=True) must NOT use the closed form: the
+    # Faulhaber polynomial extrapolates over empty ranges (e.g.
+    # sum_{j=0}^{-2} j = 1 by the formula, but 0 by loop semantics).  The
+    # lazy Sum evaluates the true (possibly empty) range exactly — and folds
+    # eagerly when everything is concrete.
+    if not clamp:
+        body_p = expr_to_poly(body)
+        if body_p is not None:
+            lo_p = expr_to_poly(lo)
+            hi_p = expr_to_poly(hi)
+            if lo_p is not None and hi_p is not None:
+                return sum_poly_closed_form(body_p, var, lo, hi)
+    return Sum.make(body, var, lo, hi)

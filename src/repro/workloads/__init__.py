@@ -1,0 +1,42 @@
+"""Bundled C workloads (DESIGN.md §2, substitution table).
+
+* ``stream`` / ``dgemm`` / ``minife`` — the paper's three evaluation codes
+  (Tables II-V, Figures 6-7),
+* ``listings`` / ``fig5`` — the paper's Section III examples,
+* the ten Table I survey stand-ins (``applu`` ... ``mg3d``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import MiraError
+
+_HERE = os.path.dirname(__file__)
+_C_DIR = os.path.join(_HERE, "c")
+
+SURVEY_APPS = ["applu", "apsi", "mdg", "lucas", "mgrid", "quake", "swim",
+               "adm", "dyfesm", "mg3d"]
+EVALUATION_APPS = ["stream", "dgemm", "minife"]
+PAPER_EXAMPLES = ["listings", "fig5"]
+
+
+def available() -> list[str]:
+    return sorted(f[:-2] for f in os.listdir(_C_DIR) if f.endswith(".c"))
+
+
+def source_path(name: str) -> str:
+    path = os.path.join(_C_DIR, f"{name}.c")
+    if not os.path.exists(path):
+        raise MiraError(f"no bundled workload {name!r}; "
+                        f"available: {available()}")
+    return path
+
+
+def get_source(name: str) -> str:
+    with open(source_path(name), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+__all__ = ["EVALUATION_APPS", "PAPER_EXAMPLES", "SURVEY_APPS", "available",
+           "get_source", "source_path"]

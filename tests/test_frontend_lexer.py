@@ -1,0 +1,141 @@
+"""Unit tests for the lexer and preprocessor."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.frontend import preprocess, tokenize
+
+
+class TestLexer:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("int foo_bar2")
+        assert toks[0].kind == "kw" and toks[0].text == "int"
+        assert toks[1].kind == "id" and toks[1].text == "foo_bar2"
+
+    def test_integer_literals(self):
+        toks = tokenize("42 0x1F 100L 7u")
+        assert [t.text for t in toks[:-1]] == ["42", "0x1F", "100L", "7u"]
+        assert all(t.kind == "int" for t in toks[:-1])
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2.0e3 1e-2 3.f .5")
+        assert all(t.kind == "float" for t in toks[:-1])
+
+    def test_int_vs_float_disambiguation(self):
+        toks = tokenize("3 3.0")
+        assert toks[0].kind == "int" and toks[1].kind == "float"
+
+    def test_char_literal(self):
+        toks = tokenize(r"'a' '\n'")
+        assert toks[0].kind == "char" and toks[1].kind == "char"
+
+    def test_string_literal(self):
+        toks = tokenize('"hello \\"world\\""')
+        assert toks[0].kind == "string"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_line_col_tracking(self):
+        toks = tokenize("a\n  b\n    c")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+        assert (toks[2].line, toks[2].col) == (3, 5)
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // comment\nb /* multi\nline */ c")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_comment_preserves_line_numbers(self):
+        toks = tokenize("/* one\ntwo\nthree */ x")
+        assert toks[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_multichar_punctuators_greedy(self):
+        toks = tokenize("a<<=b>>c<=d->e++f")
+        texts = [t.text for t in toks[:-1]]
+        assert "<<=" in texts and ">>" in texts and "<=" in texts
+        assert "->" in texts and "++" in texts
+
+    def test_pragma_token(self):
+        toks = tokenize("#pragma @Annotation {skip:yes}\nint x;")
+        assert toks[0].kind == "pragma"
+        assert "@Annotation" in toks[0].text
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("int @x;")
+
+    def test_unexpected_directive_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define X 1\nint x;")
+
+
+class TestPreprocessor:
+    def test_object_macro(self):
+        out = preprocess("#define N 100\nint a[N];")
+        assert "int a[100];" in out
+
+    def test_line_numbers_preserved(self):
+        src = "#define N 10\n\nint a[N];"
+        out = preprocess(src)
+        assert out.split("\n")[2] == "int a[10];"
+
+    def test_function_macro(self):
+        out = preprocess("#define SQ(x) ((x)*(x))\nint y = SQ(3+1);")
+        assert "((3+1)*(3+1))" in out
+
+    def test_function_macro_nested_parens(self):
+        out = preprocess("#define F(a,b) a+b\nint y = F(g(1,2), 3);")
+        assert "g(1,2)" in out and "+ 3" in out.replace("+3", "+ 3")
+
+    def test_macro_not_expanded_in_string(self):
+        out = preprocess('#define N 10\nchar* s = "N";')
+        assert '"N"' in out
+
+    def test_include_ignored(self):
+        out = preprocess('#include <stdio.h>\nint x;')
+        assert "int x;" in out and "stdio" not in out
+
+    def test_ifdef(self):
+        src = "#define A 1\n#ifdef A\nint x;\n#else\nint y;\n#endif"
+        out = preprocess(src)
+        assert "int x;" in out and "int y;" not in out
+
+    def test_ifndef(self):
+        src = "#ifndef A\nint x;\n#else\nint y;\n#endif"
+        out = preprocess(src)
+        assert "int x;" in out and "int y;" not in out
+
+    def test_undef(self):
+        src = "#define A 5\n#undef A\nint x = A;"
+        out = preprocess(src)
+        assert "int x = A;" in out
+
+    def test_unterminated_if_rejected(self):
+        with pytest.raises(ParseError):
+            preprocess("#ifdef A\nint x;")
+
+    def test_pragma_passthrough(self):
+        out = preprocess("#pragma @Annotation {skip:yes}\nint x;")
+        assert "#pragma @Annotation" in out
+
+    def test_predefined(self):
+        out = preprocess("int a[N];", predefined={"N": "32"})
+        assert "int a[32];" in out
+
+    def test_recursive_macro_guard(self):
+        with pytest.raises(ParseError):
+            preprocess("#define A A\nint x = A;")
+
+    def test_macro_wrong_arity(self):
+        with pytest.raises(ParseError):
+            preprocess("#define F(a,b) a+b\nint x = F(1);")

@@ -1,0 +1,163 @@
+"""The framework's strongest invariant, property-tested:
+
+For any program whose control flow is fully statically analyzable (affine
+loop bounds, affine/modular branch conditions, no library calls), the static
+model's category counts must equal the dynamic execution's counts *exactly*
+— both sides consume the same binary cost centers, and the polyhedral
+counting must match real iteration behaviour.
+
+Hypothesis generates random loop-nest programs; any mismatch is a genuine
+bug in the polyhedral engine, the metric generator, or the interpreter.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mira
+from repro.dynamic import TauProfiler
+
+
+def run_both(src: str) -> tuple[dict, dict]:
+    model = Mira().analyze(src)
+    rep = TauProfiler(model.processed).profile("main")
+    return (model.evaluate("main").as_dict(),
+            rep.function("main").categories)
+
+
+# -- random program generation ------------------------------------------------
+
+_VARS = ["i", "j", "k"]
+
+
+@st.composite
+def loop_nests(draw):
+    """A random 1-3-deep loop nest with affine bounds and a body statement,
+    optionally guarded by an affine or modular condition."""
+    depth = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    indent = "  "
+    innermost_lo = 0
+    for d in range(depth):
+        var = _VARS[d]
+        lo = draw(st.integers(min_value=-3, max_value=3))
+        innermost_lo = lo
+        if d > 0 and draw(st.booleans()):
+            # bound depending on the enclosing index
+            outer = _VARS[d - 1]
+            off = draw(st.integers(min_value=0, max_value=4))
+            hi = f"{outer} + {off}"
+        else:
+            hi = str(draw(st.integers(min_value=lo, max_value=lo + 6)))
+        op = draw(st.sampled_from(["<", "<="]))
+        step = draw(st.sampled_from([1, 1, 1, 2, 3]))
+        incr = f"{var}++" if step == 1 else f"{var} += {step}"
+        lines.append(f"{indent}for (int {var} = {lo}; {var} {op} {hi}; {incr})")
+        indent += "  "
+    guards = [None, None, "{v} > 1", "{v} <= 2", "{v} % 2 == 0"]
+    if innermost_lo >= 0:
+        # nonzero residues under C's % only count exactly on non-negative
+        # domains (sign-follows-dividend); elsewhere Mira falls back to the
+        # ratio heuristic, which is legitimately inexact.
+        guards.append("{v} % 3 != 1")
+    guard = draw(st.sampled_from(guards))
+    var = _VARS[depth - 1]
+    if guard is not None:
+        lines.append(f"{indent}if ({guard.format(v=var)})")
+        indent += "  "
+    lines.append(f"{indent}acc = acc + 1;")
+    return "\n".join(lines)
+
+
+@given(loop_nests())
+@settings(max_examples=40, deadline=None)
+def test_property_random_affine_nest_exact(nest_src):
+    src = f"""
+int acc;
+void kernel() {{
+{nest_src}
+}}
+int main() {{ kernel(); return acc; }}
+"""
+    static, dynamic = run_both(src)
+    assert static == dynamic, f"divergence for program:\n{src}"
+
+
+@given(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=8),
+    st.sampled_from(["+", "*", "-"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_fp_kernel_exact(n, m, op):
+    src = f"""
+double x[64];
+double y[64];
+void kernel() {{
+  for (int i = 0; i < {n}; i++)
+    for (int j = 0; j < {m}; j++)
+      x[i] = x[i] {op} y[j];
+}}
+int main() {{ kernel(); return 0; }}
+"""
+    static, dynamic = run_both(src)
+    assert static == dynamic
+    fp = static.get("SSE2 packed arithmetic instruction", 0)
+    assert fp == n * m
+
+
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=0, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_property_modular_branch_exact(n, mod, rem):
+    rem = rem % mod
+    src = f"""
+int acc;
+void kernel() {{
+  for (int i = 0; i < {n}; i++)
+    if (i % {mod} != {rem})
+      acc = acc + 1;
+}}
+int main() {{ kernel(); return acc; }}
+"""
+    static, dynamic = run_both(src)
+    assert static == dynamic
+
+
+@given(st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_property_else_branch_exact(n, split):
+    src = f"""
+int a; int b;
+void kernel() {{
+  for (int i = 0; i < {n}; i++) {{
+    if (i < {split}) {{ a = a + 1; }}
+    else {{ b = b + 2; }}
+  }}
+}}
+int main() {{ kernel(); return a + b; }}
+"""
+    static, dynamic = run_both(src)
+    assert static == dynamic
+
+
+@given(st.integers(min_value=0, max_value=20))
+@settings(max_examples=20, deadline=None)
+def test_property_call_composition_exact(n):
+    src = f"""
+double s;
+void leaf(int m) {{
+  for (int i = 0; i < m; i++)
+    s = s + 1.0;
+}}
+void kernel() {{
+  for (int r = 0; r < 3; r++)
+    leaf({n});
+}}
+int main() {{ kernel(); return 0; }}
+"""
+    static, dynamic = run_both(src)
+    assert static == dynamic
+    assert static.get("SSE2 packed arithmetic instruction", 0) == 3 * n

@@ -1,0 +1,225 @@
+"""Unit tests for the symbolic expression engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbolic import (
+    Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym, as_expr,
+)
+
+
+class TestInt:
+    def test_int_value(self):
+        assert Int(5).evaluate({}) == 5
+
+    def test_fraction_value(self):
+        assert Int(Fraction(1, 2)).evaluate({}) == Fraction(1, 2)
+
+    def test_repr_integer(self):
+        assert repr(Int(7)) == "7"
+
+    def test_repr_fraction(self):
+        assert repr(Int(Fraction(1, 3))) == "(1/3)"
+
+    def test_rejects_bool(self):
+        with pytest.raises(SymbolicError):
+            Int(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(SymbolicError):
+            Int(0.5)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Int(1).value = Fraction(2)
+
+    def test_equality_and_hash(self):
+        assert Int(3) == Int(3)
+        assert hash(Int(3)) == hash(Int(3))
+        assert Int(3) != Int(4)
+
+
+class TestSym:
+    def test_evaluate_bound(self):
+        assert Sym("x").evaluate({"x": 9}) == 9
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(SymbolicError):
+            Sym("x").evaluate({})
+
+    def test_evaluate_float_binding_rejected(self):
+        with pytest.raises(SymbolicError):
+            Sym("x").evaluate({"x": 1.5})
+
+    def test_free_symbols(self):
+        assert Sym("q").free_symbols() == {"q"}
+
+    def test_subs(self):
+        assert Sym("x").subs({"x": 3}) == Int(3)
+
+    def test_subs_other_name_noop(self):
+        assert Sym("x").subs({"y": 3}) == Sym("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SymbolicError):
+            Sym("")
+
+
+class TestArithmetic:
+    def test_add_constants_folds(self):
+        assert Sym("x") + 2 + 3 == Sym("x") + 5
+
+    def test_like_terms_collect(self):
+        x = Sym("x")
+        assert x + x == 2 * x
+
+    def test_mul_by_zero(self):
+        assert Sym("x") * 0 == Int(0)
+
+    def test_mul_by_one(self):
+        assert Sym("x") * 1 == Sym("x")
+
+    def test_distribution_canonical(self):
+        x, y = Sym("x"), Sym("y")
+        assert (x + y) * (x - y) == x ** 2 - y ** 2
+
+    def test_sub(self):
+        x = Sym("x")
+        assert (x - x) == Int(0)
+
+    def test_neg(self):
+        assert (-Sym("x")).evaluate({"x": 4}) == -4
+
+    def test_pow_zero(self):
+        assert Sym("x") ** 0 == Int(1)
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(SymbolicError):
+            Sym("x") ** -1
+
+    def test_div_by_const(self):
+        e = Sym("x") / 2
+        assert e.evaluate({"x": 5}) == Fraction(5, 2)
+
+    def test_div_by_zero(self):
+        with pytest.raises(SymbolicError):
+            Sym("x") / 0
+
+    def test_div_by_symbol_rejected(self):
+        with pytest.raises(SymbolicError):
+            Sym("x") / Sym("y")
+
+    def test_evaluate_nested(self):
+        x, y = Sym("x"), Sym("y")
+        e = (x + 2 * y) ** 2
+        assert e.evaluate({"x": 1, "y": 3}) == 49
+
+    def test_radd_rsub_rmul(self):
+        x = Sym("x")
+        assert (1 + x).evaluate({"x": 2}) == 3
+        assert (1 - x).evaluate({"x": 2}) == -1
+        assert (3 * x).evaluate({"x": 2}) == 6
+
+
+class TestFloorDiv:
+    def test_concrete_fold(self):
+        assert FloorDiv.make(Int(7), Int(2)) == Int(3)
+
+    def test_negative_floor_semantics(self):
+        assert FloorDiv.make(Int(-7), Int(2)) == Int(-4)
+
+    def test_den_one_identity(self):
+        assert FloorDiv.make(Sym("x"), Int(1)) == Sym("x")
+
+    def test_symbolic_evaluate(self):
+        e = FloorDiv.make(Sym("x"), Int(3))
+        assert e.evaluate({"x": 10}) == 3
+        assert e.evaluate({"x": -1}) == -1
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(SymbolicError):
+            FloorDiv.make(Sym("x"), Int(0))
+
+    def test_free_symbols(self):
+        e = FloorDiv.make(Sym("a") + Sym("b"), Int(2))
+        assert e.free_symbols() == {"a", "b"}
+
+    def test_subs(self):
+        e = FloorDiv.make(Sym("x"), Int(2))
+        assert e.subs({"x": 9}) == Int(4)
+
+
+class TestMinMax:
+    def test_max_constants_fold(self):
+        assert Max.make([Int(2), Int(5)]) == Int(5)
+
+    def test_min_constants_fold(self):
+        assert Min.make([Int(2), Int(5)]) == Int(2)
+
+    def test_max_mixed(self):
+        e = Max.make([Int(0), Sym("n")])
+        assert e.evaluate({"n": -3}) == 0
+        assert e.evaluate({"n": 3}) == 3
+
+    def test_single_arg_collapses(self):
+        assert Max.make([Sym("x")]) == Sym("x")
+
+    def test_dedupe(self):
+        e = Max.make([Sym("x"), Sym("x"), Int(1)])
+        assert len(e.args) == 2
+
+    def test_nested_flatten(self):
+        e = Max.make([Max.make([Sym("x"), Int(1)]), Int(2)])
+        assert e.evaluate({"x": 0}) == 2
+
+    def test_subs_folds(self):
+        e = Min.make([Sym("x"), Int(4)])
+        assert e.subs({"x": 2}) == Int(2)
+
+
+class TestSum:
+    def test_concrete_folds(self):
+        e = Sum.make(Sym("i"), "i", Int(1), Int(4))
+        assert e == Int(10)
+
+    def test_empty_range(self):
+        assert Sum.make(Int(1), "i", Int(5), Int(2)) == Int(0)
+
+    def test_parametric_evaluate(self):
+        e = Sum.make(Sym("i") * Sym("c"), "i", Int(1), Sym("n"))
+        assert e.evaluate({"n": 3, "c": 2}) == 12
+
+    def test_bound_var_not_free(self):
+        e = Sum.make(Sym("i") + Sym("n"), "i", Int(0), Sym("n"))
+        assert e.free_symbols() == {"n"}
+
+    def test_subs_does_not_capture_bound_var(self):
+        e = Sum.make(Sym("i"), "i", Int(0), Sym("n"))
+        e2 = e.subs({"i": 99, "n": 3})
+        assert e2.evaluate({}) == 6
+
+    def test_empty_at_evaluation(self):
+        e = Sum.make(Sym("i"), "i", Int(0), Sym("n"))
+        assert e.evaluate({"n": -5}) == 0
+
+
+class TestAsExpr:
+    def test_int(self):
+        assert as_expr(3) == Int(3)
+
+    def test_fraction(self):
+        assert as_expr(Fraction(1, 2)) == Int(Fraction(1, 2))
+
+    def test_passthrough(self):
+        x = Sym("x")
+        assert as_expr(x) is x
+
+    def test_bool_rejected(self):
+        with pytest.raises(SymbolicError):
+            as_expr(True)
+
+    def test_str_rejected(self):
+        with pytest.raises(SymbolicError):
+            as_expr("x")

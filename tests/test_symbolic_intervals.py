@@ -1,0 +1,119 @@
+"""Tests for interval evaluation — the soundness layer the property tests
+forced into the polyhedral counter (see DESIGN.md §7)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import FloorDiv, Int, Max, Min, Sum, Sym
+from repro.symbolic.intervals import interval_eval
+
+
+class TestIntervalEval:
+    def test_constant(self):
+        assert interval_eval(Int(5), {}) == (5, 5)
+
+    def test_symbol_known(self):
+        assert interval_eval(Sym("x"), {"x": (Fraction(1), Fraction(3))}) \
+            == (1, 3)
+
+    def test_symbol_unknown(self):
+        assert interval_eval(Sym("x"), {}) is None
+
+    def test_add(self):
+        env = {"x": (Fraction(-1), Fraction(2)), "y": (Fraction(3), Fraction(4))}
+        assert interval_eval(Sym("x") + Sym("y"), env) == (2, 6)
+
+    def test_mul_sign_crossing(self):
+        env = {"x": (Fraction(-2), Fraction(3))}
+        assert interval_eval(Sym("x") * 2, env) == (-4, 6)
+        assert interval_eval(Sym("x") * -1, env) == (-3, 2)
+
+    def test_pow_even_tightens(self):
+        env = {"x": (Fraction(-2), Fraction(3))}
+        assert interval_eval(Sym("x") ** 2, env) == (0, 9)
+
+    def test_pow_odd(self):
+        env = {"x": (Fraction(-2), Fraction(3))}
+        lo, hi = interval_eval(Sym("x") ** 3, env)
+        assert lo <= -8 and hi >= 27
+
+    def test_floordiv(self):
+        env = {"x": (Fraction(1), Fraction(10))}
+        assert interval_eval(FloorDiv.make(Sym("x"), Int(3)), env) == (0, 3)
+
+    def test_floordiv_zero_crossing_denominator(self):
+        env = {"x": (Fraction(1), Fraction(10)), "d": (Fraction(-1), Fraction(1))}
+        assert interval_eval(FloorDiv.make(Sym("x"), Sym("d")), env) is None
+
+    def test_max_min(self):
+        env = {"x": (Fraction(-3), Fraction(5))}
+        assert interval_eval(Max.make([Int(0), Sym("x")]), env) == (0, 5)
+        assert interval_eval(Min.make([Int(0), Sym("x")]), env) == (-3, 0)
+
+    def test_sum_gives_up(self):
+        e = Sum.make(Sym("i"), "i", Int(0), Sym("n"))
+        assert interval_eval(e, {"n": (Fraction(0), Fraction(5))}) is None
+
+    def test_partial_unknown_propagates_none(self):
+        env = {"x": (Fraction(0), Fraction(1))}
+        assert interval_eval(Sym("x") + Sym("q"), env) is None
+
+    @given(
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-5, max_value=5),
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_interval_contains_all_values(self, xlo, xhi, a, b):
+        """Soundness: for every x in [xlo,xhi], a*x^2 + b*x lies inside the
+        computed interval."""
+        if xlo > xhi:
+            xlo, xhi = xhi, xlo
+        x = Sym("x")
+        e = Int(a) * x ** 2 + Int(b) * x
+        iv = interval_eval(e, {"x": (Fraction(xlo), Fraction(xhi))})
+        assert iv is not None
+        for v in range(xlo, xhi + 1):
+            val = e.evaluate({"x": v})
+            assert iv[0] <= val <= iv[1]
+
+
+class TestClampedClosedForms:
+    """The Faulhaber-extrapolation bug the property tests found: closed
+    forms must not be used over possibly-empty ranges."""
+
+    def test_empty_range_polynomial_body(self):
+        from repro.symbolic import sum_expr
+
+        # sum_{j=0}^{-2} j: the closed form would give 1; truth is 0
+        e = sum_expr(Sym("j"), "j", Int(0), Sym("i") - 1, clamp=True)
+        assert e.evaluate({"i": -1}) == 0
+        assert e.evaluate({"i": 3}) == 3  # 0+1+2
+
+    def test_unclamped_keeps_closed_form(self):
+        from repro.symbolic import Sum, sum_expr
+
+        e = sum_expr(Sym("j"), "j", Int(0), Sym("n") - 1, clamp=False)
+        assert not isinstance(e, Sum)  # polynomial closed form retained
+        assert e.evaluate({"n": 100}) == 4950
+
+    def test_nested_empty_middle_level(self):
+        from repro.polyhedral import LoopNest, NestLevel
+
+        nest = (LoopNest()
+                .add_level(NestLevel("i", Int(-1), Int(-1)))
+                .add_level(NestLevel("j", Int(0), Sym("i")))
+                .add_level(NestLevel("k", Int(0), Sym("j") - 1)))
+        assert nest.count().evaluate({}) == nest.count_concrete() == 0
+
+    def test_sometimes_empty_inner_level(self):
+        from repro.polyhedral import LoopNest, NestLevel
+
+        nest = (LoopNest()
+                .add_level(NestLevel("i", Int(-2), Int(4)))
+                .add_level(NestLevel("j", Int(1), Sym("i"))))
+        assert nest.count().evaluate({}) == nest.count_concrete()

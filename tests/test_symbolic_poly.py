@@ -1,0 +1,224 @@
+"""Unit and property tests for polynomials, Faulhaber sums, and summation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SymbolicError
+from repro.symbolic import (
+    Int, Max, Sum, Sym, expr_to_poly, power_sum_poly, range_size, sum_expr,
+)
+from repro.symbolic.poly import Polynomial
+
+
+class TestPolynomial:
+    def test_const(self):
+        assert Polynomial.const(5).evaluate({}) == 5
+
+    def test_var(self):
+        assert Polynomial.var("x").evaluate({"x": 7}) == 7
+
+    def test_add_mul(self):
+        x, y = Polynomial.var("x"), Polynomial.var("y")
+        p = (x + y) * (x + y)
+        assert p.evaluate({"x": 2, "y": 3}) == 25
+
+    def test_zero_is_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert (Polynomial.var("x") - Polynomial.var("x")).is_zero()
+
+    def test_pow(self):
+        x = Polynomial.var("x")
+        assert (x ** 5).evaluate({"x": 2}) == 32
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(SymbolicError):
+            Polynomial.var("x") ** -2
+
+    def test_degree(self):
+        x, y = Polynomial.var("x"), Polynomial.var("y")
+        p = x * x * y + x
+        assert p.degree("x") == 2
+        assert p.degree("y") == 1
+        assert p.degree("z") == 0
+
+    def test_coeffs_in(self):
+        x, y = Polynomial.var("x"), Polynomial.var("y")
+        p = x * x * y + x.scale(3) + Polynomial.const(7)
+        c = p.coeffs_in("x")
+        assert c[2].evaluate({"y": 5}) == 5
+        assert c[1].constant_value() == 3
+        assert c[0].constant_value() == 7
+
+    def test_subs_poly_composition(self):
+        x = Polynomial.var("x")
+        p = x * x + x  # x^2 + x
+        q = p.subs_poly("x", Polynomial.var("y") + Polynomial.const(1))
+        assert q.evaluate({"y": 2}) == 9 + 3
+
+    def test_constant_value_raises_for_nonconst(self):
+        with pytest.raises(SymbolicError):
+            Polynomial.var("x").constant_value()
+
+    def test_to_expr_roundtrip(self):
+        x, y = Polynomial.var("x"), Polynomial.var("y")
+        p = x * y + x.scale(Fraction(1, 2)) + Polynomial.const(-3)
+        e = p.to_expr()
+        assert e.evaluate({"x": 4, "y": 2}) == p.evaluate({"x": 4, "y": 2})
+
+    def test_expr_to_poly_roundtrip(self):
+        x = Sym("x")
+        e = (x + 1) * (x + 2)
+        p = expr_to_poly(e)
+        assert p.evaluate({"x": 3}) == 20
+
+    def test_expr_to_poly_none_for_floor(self):
+        from repro.symbolic import FloorDiv
+
+        assert expr_to_poly(FloorDiv.make(Sym("x"), Int(2))) is None
+
+
+class TestPowerSums:
+    @pytest.mark.parametrize("p", range(0, 8))
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 13])
+    def test_faulhaber_matches_direct(self, p, n):
+        direct = sum(k ** p for k in range(1, n + 1))
+        assert power_sum_poly(p).evaluate({"n": n}) == direct
+
+    def test_degree(self):
+        assert power_sum_poly(4).degree("n") == 5
+
+    def test_negative_p_rejected(self):
+        with pytest.raises(SymbolicError):
+            power_sum_poly(-1)
+
+
+class TestSumExpr:
+    def test_constant_body(self):
+        e = sum_expr(Int(3), "i", Int(1), Sym("n"), clamp=False)
+        assert e.evaluate({"n": 10}) == 30
+
+    def test_linear_body(self):
+        e = sum_expr(Sym("i"), "i", Int(1), Sym("n"))
+        assert e.evaluate({"n": 100}) == 5050
+
+    def test_quadratic_body(self):
+        e = sum_expr(Sym("i") ** 2, "i", Int(0), Sym("n") - 1)
+        assert e.evaluate({"n": 10}) == sum(k * k for k in range(10))
+
+    def test_body_with_outer_params(self):
+        e = sum_expr(Sym("m") * Sym("i"), "i", Int(1), Sym("n"))
+        assert e.evaluate({"n": 4, "m": 3}) == 30
+
+    def test_dependent_bounds(self):
+        # sum_{j=i+1}^{6} 1 summed over i=1..4 == 14 (paper Listing 2)
+        i = Sym("i")
+        inner = sum_expr(Int(1), "j", i + 1, Int(6), clamp=False)
+        outer = sum_expr(inner, "i", Int(1), Int(4))
+        assert outer == Int(14)
+
+    def test_concrete_empty_range(self):
+        assert sum_expr(Sym("i"), "i", Int(5), Int(1)) == Int(0)
+
+    def test_clamped_range_nonpolynomial_bound(self):
+        e = sum_expr(Int(1), "i", Max.make([Int(0), Sym("a")]), Sym("n"))
+        assert e.evaluate({"a": -5, "n": 3}) == 4
+        assert e.evaluate({"a": 2, "n": 3}) == 2
+
+    def test_fallback_sum_node(self):
+        from repro.symbolic import FloorDiv
+
+        body = FloorDiv.make(Sym("i"), Int(2))
+        e = sum_expr(body, "i", Int(0), Sym("n"))
+        assert isinstance(e, Sum)
+        assert e.evaluate({"n": 5}) == sum(k // 2 for k in range(6))
+
+    @given(
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+        st.lists(st.integers(min_value=-5, max_value=5), min_size=1, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_polynomial_sum_matches_direct(self, lo, hi, coeffs):
+        """Closed-form sums equal direct summation for arbitrary polynomials,
+        whenever the range is well-formed (lo <= hi+1)."""
+        if lo > hi + 1:
+            lo, hi = hi, lo
+        i = Sym("i")
+        body = Int(0)
+        for p, c in enumerate(coeffs):
+            body = body + Int(c) * i ** p
+        e = sum_expr(body, "i", Int(lo), Int(hi))
+        direct = sum(
+            sum(c * k ** p for p, c in enumerate(coeffs)) for k in range(lo, hi + 1)
+        )
+        assert e.evaluate({}) == direct
+
+    @given(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_parametric_triangle(self, n, off, deg):
+        """sum_{i=0}^{n-1} (i+off)^deg parametrically == direct."""
+        i = Sym("i")
+        e = sum_expr((i + off) ** deg, "i", Int(0), Sym("n") - 1, clamp=False)
+        direct = sum((k + off) ** deg for k in range(n))
+        assert e.evaluate({"n": n}) == direct
+
+
+class TestRangeSize:
+    def test_concrete(self):
+        assert range_size(Int(2), Int(7)) == Int(6)
+
+    def test_concrete_empty_clamps(self):
+        assert range_size(Int(5), Int(2)) == Int(0)
+
+    def test_parametric_clamped(self):
+        e = range_size(Int(0), Sym("n") - 1)
+        assert e.evaluate({"n": 0}) == 0
+        assert e.evaluate({"n": 5}) == 5
+
+    def test_parametric_unclamped(self):
+        e = range_size(Int(0), Sym("n") - 1, clamp=False)
+        assert e == Sym("n")
+
+
+class TestPycodegen:
+    def test_roundtrip_through_eval(self):
+        from repro.symbolic import expr_to_python, FloorDiv
+
+        n = Sym("n")
+        e = sum_expr(Sym("i") + 1, "i", Int(0), n - 1, clamp=False)
+        code = expr_to_python(e)
+        from fractions import Fraction  # noqa: F401 - used by generated code
+
+        def _mira_sum(f, lo, hi):
+            return sum(f(k) for k in range(lo, hi + 1))
+
+        val = eval(code, {"Fraction": Fraction, "_mira_sum": _mira_sum, "n": 10})
+        assert val == 55
+
+    def test_sum_node_emission(self):
+        from repro.symbolic import expr_to_python, FloorDiv
+
+        body = FloorDiv.make(Sym("i"), Int(2))
+        e = sum_expr(body, "i", Int(0), Sym("n"))
+        code = expr_to_python(e)
+        assert "_mira_sum" in code
+
+        def _mira_sum(f, lo, hi):
+            return sum(f(k) for k in range(lo, hi + 1))
+
+        val = eval(code, {"Fraction": Fraction, "_mira_sum": _mira_sum, "n": 5})
+        assert val == sum(k // 2 for k in range(6))
+
+    def test_floordiv_emission_matches_python(self):
+        from repro.symbolic import expr_to_python, FloorDiv
+
+        e = FloorDiv.make(Sym("x") - 7, Int(3))
+        code = expr_to_python(e)
+        assert eval(code, {"x": 2}) == (2 - 7) // 3
