@@ -9,7 +9,14 @@ inline.
 from __future__ import annotations
 
 import os
+import sys
 from fractions import Fraction
+
+# Allow running the benches from a fresh checkout without installing the
+# package (PYTHONPATH-free `python benchmarks/bench_*.py`).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 from repro.core import Mira, MiraModel
 from repro.dynamic import TauProfiler, TauReport

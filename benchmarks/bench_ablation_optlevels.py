@@ -10,10 +10,10 @@ the other side.
 
 import pytest
 
+from _common import rows_to_text, save_table
+
 from repro.core import Mira, arithmetic_intensity
 from repro.workloads import get_source
-
-from _common import rows_to_text, save_table
 
 N = 10000
 DEFS = {"STREAM_ARRAY_SIZE": str(N)}
@@ -76,3 +76,12 @@ def test_vectorization_detected_on_stream(benchmark, models):
         return sum(mark_vectorizable_loops(f) for f in tu.all_functions())
 
     assert benchmark(count_marked) == 4
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

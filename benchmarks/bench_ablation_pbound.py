@@ -8,12 +8,12 @@ what actually executes (index arithmetic folded into SIB addressing, hot
 scalars promoted to registers), while Mira matches the dynamic measurement.
 """
 
+from _common import error_pct, rows_to_text, save_table
+
 from repro.baselines import PBoundAnalyzer
 from repro.core import Mira
 from repro.dynamic import TauProfiler
 from repro.workloads import get_source
-
-from _common import error_pct, rows_to_text, save_table
 
 N = 5000
 
@@ -88,3 +88,12 @@ def test_ablation_pbound_dgemm(benchmark):
     # iteration that the binary folds into addressing modes
     mira_int = mira.as_dict().get("Integer arithmetic instruction", 0)
     assert pb_counts["int_ops"] > mira_int
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

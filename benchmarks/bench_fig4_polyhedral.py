@@ -7,14 +7,14 @@ which we additionally *count* via the numeric-fallback extension.
 Every count is cross-checked against brute-force enumeration.
 """
 
+from _common import rows_to_text, save_table
+
 from repro.frontend import parse_source
 from repro.frontend.lexer import tokenize
 from repro.frontend.parser import Parser
 from repro.polyhedral import (LoopNest, condition_to_constraints,
                               extract_level)
 from repro.workloads import get_source
-
-from _common import rows_to_text, save_table
 
 
 def _nest_from(fn_name: str, tu, with_if: bool = False):
@@ -97,3 +97,12 @@ def test_fig4_parametric_generalization(benchmark):
     expr = benchmark(lambda: nest.count())
     for n in (1, 4, 9):
         assert expr.evaluate({"N": n}) == nest.count_concrete({"N": n})
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -11,10 +11,10 @@ bridge -> model).
 
 import re
 
+from _common import analyze_workload, rows_to_text, save_table
+
 from repro.core import Mira
 from repro.workloads import get_source
-
-from _common import analyze_workload, rows_to_text, save_table
 
 
 def test_fig5_generated_model(benchmark):
@@ -60,3 +60,12 @@ def test_fig5_listing6_annotations(benchmark):
         "Listing 6 with annotations (x=2, y=11)", ["Category", "Count"], rows))
     # acc=acc+2 executes 4 * 10 times: at least 40 integer adds in the body
     assert d["Integer arithmetic instruction"] >= 40
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -80,3 +80,12 @@ def test_fig7cd_minife_series(benchmark):
         sub = [r for r in rows if r[0] == nx]
         cg = [r for r in sub if r[1] == "cg_solve"][0]
         assert all(float(cg[3][:-2].replace("E", "e")) >= 0 for _ in [0])
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

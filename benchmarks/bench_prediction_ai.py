@@ -9,10 +9,10 @@ roofline-style memory/compute classification.
 
 import pytest
 
-from repro.core import arithmetic_intensity, roofline_estimate
-
 from _common import (analyze_workload, minife_env, rows_to_text, save_table,
                      user_row_nnz_estimate)
+
+from repro.core import arithmetic_intensity, roofline_estimate
 
 PAPER_AI = 0.53
 
@@ -52,3 +52,12 @@ def test_stream_triad_ai(benchmark):
     ai = benchmark(lambda: arithmetic_intensity(metrics, model.arch))
     # 2 FP (mul+add) per 3 data movements (2 loads + 1 store): ~0.67
     assert ai == pytest.approx(2 / 3, rel=0.05)
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

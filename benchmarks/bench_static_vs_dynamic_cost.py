@@ -15,13 +15,13 @@ import time
 
 import pytest
 
+from _common import fmt_sci, rows_to_text, save_table
+
 from repro.compiler import default_arch
 from repro.core import Mira
 from repro.dynamic import TauProfiler, preset_categories
 from repro.errors import MiraError
 from repro.workloads import get_source
-
-from _common import fmt_sci, rows_to_text, save_table
 
 SWEEP = [5_000, 10_000, 20_000, 40_000]
 
@@ -86,3 +86,12 @@ def test_haswell_fp_counters_missing(benchmark):
                                     predefined={"STREAM_ARRAY_SIZE": "1000"})
     # ... while the static model still reports FPI on that machine model
     assert model.fp_instructions("tuned_triad", {"n": 1000}) == 2000
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

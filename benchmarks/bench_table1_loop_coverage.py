@@ -7,10 +7,10 @@ apps of the same names (DESIGN.md substitution table) and print both our
 measured rows and the paper's reference rows.
 """
 
+from _common import rows_to_text, save_table
+
 from repro.core import loop_coverage_source
 from repro.workloads import SURVEY_APPS, get_source
-
-from _common import rows_to_text, save_table
 
 # Paper Table I reference values: (loops, statements, in-loop, pct)
 PAPER_TABLE1 = {
@@ -51,3 +51,12 @@ def test_table1_loop_coverage(benchmark):
     # the paper's qualitative claim: loops dominate
     assert min(pcts) >= 45.0
     assert sum(pcts) / len(pcts) >= 60.0
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -8,10 +8,10 @@ instructions called out as the source of FP work.  We evaluate the
 needed, which is exactly Mira's selling point.
 """
 
-from repro.core import instruction_distribution
-
 from _common import (analyze_workload, fmt_sci, minife_env, rows_to_text,
                      save_table, user_row_nnz_estimate)
+
+from repro.core import instruction_distribution
 
 PAPER_TABLE2 = {
     "Integer arithmetic instruction": 6.8e8,
@@ -77,3 +77,12 @@ def test_fig6_instruction_distribution(benchmark):
     save_table("fig6_distribution", text)
     assert abs(sum(dist.values()) - 1.0) < 1e-9
     assert dist["SSE2 packed arithmetic instruction"] > 0.02
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -69,3 +69,12 @@ def test_stream_static_model_reaches_paper_sizes(benchmark, measured):
     save_table("table3_stream_paper_scale", rows_to_text(
         "STREAM static model at paper sizes (no execution required)",
         ["Array size", "Mira FPI"], rows))
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -63,3 +63,12 @@ def test_dgemm_kernel_closed_form(benchmark, measured):
     save_table("table4_dgemm_paper_scale", rows_to_text(
         "DGEMM static model at paper sizes (per run of main)",
         ["Matrix size", "Mira FPI"], rows))
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -78,3 +78,12 @@ def test_table5_minife_fpi(benchmark, measured):
     # error grows with size for matvec (paper: 1.3% -> 3.08%)
     errs = [e for _, _, e in by_fn["matvec_std::operator()"]]
     assert errs[1] > errs[0]
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -12,6 +12,12 @@ back to exposed parameters / default ratios.
 Run:  python examples/annotations_demo.py
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
 from repro import Mira
 
 ANNOTATED = """

@@ -9,6 +9,12 @@ source-only tool (PBound baseline) cannot see.
 Run:  python examples/dgemm_roofline.py
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
 from repro import (Mira, PBoundAnalyzer, arithmetic_intensity,
                    roofline_estimate)
 from repro.workloads import get_source

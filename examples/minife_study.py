@@ -11,6 +11,12 @@ dynamic substrate, and save the generated Python model.
 Run:  python examples/minife_study.py
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
 from repro import Mira, TauProfiler
 from repro.workloads import get_source
 

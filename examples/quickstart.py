@@ -8,6 +8,12 @@ generated Python model the paper's Figure 5 describes.
 Run:  python examples/quickstart.py
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
 from repro import Mira
 
 SOURCE = """

@@ -8,6 +8,12 @@ because no execution is involved.
 Run:  python examples/stream_analysis.py
 """
 
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
 import time
 
 from repro import Mira, TauProfiler

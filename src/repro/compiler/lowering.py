@@ -1074,34 +1074,45 @@ class FunctionLowering:
 
     def _int_divide(self, lv: Val, rv: Val, op: str) -> Val:
         """x86 division: dividend in rdx:rax, ``cdq`` sign extension,
-        quotient in rax, remainder in rdx."""
+        quotient in rax, remainder in rdx.
+
+        Ownership discipline: rax/rdx may be (a) held by lv/rv, (b) free in
+        the pool (we allocate them), or (c) held by an unrelated live value
+        — then they are pushed around the idiv and stay that value's
+        property; the result must not live there.
+        """
         pushed: list[str] = []
+        ours: set[str] = set()       # rax/rdx allocations we may reuse/release
         for need in ("rax", "rdx"):
             if need in (lv.reg, rv.reg):
-                continue
-            if not self.ipool.alloc_specific(need):
+                ours.add(need)       # owned through lv/rv's allocation
+            elif self.ipool.alloc_specific(need):
+                ours.add(need)
+            else:
                 self.emit("push", Reg(need))
-                pushed.append(need)
+                pushed.append(need)  # foreign-owned: preserve, never release
         if rv.reg == "rax" or rv.reg == "rdx":
+            # idiv clobbers both; move the divisor out (its old allocation
+            # stays ours and is reclaimed below).
             r = self.ireg()
             self.emit("mov", Reg(r), Reg(rv.reg))
-            self.free(rv)
             rv = Val(r, False, rv.type)
         if lv.reg != "rax":
             self.emit("mov", Reg("rax"), Reg(lv.reg))
-            self.free(lv)
+            if lv.reg != "rdx":
+                self.free(lv)
         self.emit("cdq")
         self.emit("idiv", Reg(rv.reg))
         self.free(rv)
         res_src = "rax" if op == "/" else "rdx"
         out = None
-        for r in ("rax", "rdx"):
-            if self.ipool.is_busy(r):
-                if r == res_src:
-                    out = Val(r, False, Type("int"))
-                else:
-                    self.ipool.release(r)
+        if res_src in ours:
+            out = Val(res_src, False, Type("int"))
+            ours.discard(res_src)
+        for r in ours:
+            self.ipool.release(r)
         if out is None:
+            # result register is foreign (about to be popped): copy out first
             dst = self.ireg()
             self.emit("mov", Reg(dst), Reg(res_src))
             out = Val(dst, False, Type("int"))

@@ -59,9 +59,13 @@ def unparse_expr(e: A.Expr) -> str:
     if isinstance(e, A.FloatLit):
         return e.text
     if isinstance(e, A.CharLit):
-        return repr(e.value)
+        ch = {"\n": "\\n", "\t": "\\t", "\0": "\\0", "\\": "\\\\",
+              "'": "\\'"}.get(e.value, e.value)
+        return f"'{ch}'"
     if isinstance(e, A.StringLit):
-        return '"' + e.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+        body = (e.value.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{body}"'
     if isinstance(e, A.Ident):
         return e.name
     if isinstance(e, A.BinOp):

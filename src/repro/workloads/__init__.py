@@ -22,7 +22,13 @@ PAPER_EXAMPLES = ["listings", "fig5"]
 
 
 def available() -> list[str]:
-    return sorted(f[:-2] for f in os.listdir(_C_DIR) if f.endswith(".c"))
+    try:
+        entries = os.listdir(_C_DIR)
+    except FileNotFoundError:
+        raise MiraError(
+            f"bundled workload corpus missing: {_C_DIR!r} does not exist "
+            "(was the package installed without its data files?)") from None
+    return sorted(f[:-2] for f in entries if f.endswith(".c"))
 
 
 def source_path(name: str) -> str:

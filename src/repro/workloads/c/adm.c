@@ -1,0 +1,43 @@
+/* Table I survey stand-in: ADM (Perfect Club) — air-pollution dispersion
+ * (the implicit diffusion kernel).  Miniature shape: tridiagonal Thomas
+ * sweeps — a forward elimination and a backward substitution — applied
+ * column by column, exercising downward loops.
+ */
+
+double adm_c[1024];
+double adm_work[32];
+double adm_gam[32];
+
+void implicit_column(int col, int nlev, double lambda)
+{
+    double denom = 1.0 + 2.0 * lambda;
+    adm_work[0] = adm_c[col * nlev] / denom;
+    adm_gam[0] = lambda / denom;
+    for (int l = 1; l < nlev; l++) {
+        double beta = 1.0 + 2.0 * lambda - lambda * adm_gam[l - 1];
+        adm_gam[l] = lambda / beta;
+        adm_work[l] = (adm_c[col * nlev + l] + lambda * adm_work[l - 1])
+            / beta;
+    }
+    for (int l = nlev - 2; l >= 0; l--) {
+        adm_work[l] = adm_work[l] + adm_gam[l] * adm_work[l + 1];
+    }
+    for (int l = 0; l < nlev; l++) {
+        adm_c[col * nlev + l] = adm_work[l];
+    }
+}
+
+void diffuse_all(int ncol, int nlev, double lambda)
+{
+    for (int col = 0; col < ncol; col++)
+        implicit_column(col, nlev, lambda);
+}
+
+int main()
+{
+    for (int i = 0; i < 1024; i++)
+        adm_c[i] = 1.0;
+    for (int step = 0; step < 4; step++)
+        diffuse_all(32, 32, 0.4);
+    return 0;
+}

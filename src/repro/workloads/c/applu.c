@@ -1,0 +1,44 @@
+/* Table I survey stand-in: APPLU (SPEC/NPB LU) — SSOR-relaxed LU solver.
+ * Miniature shape: residual stencil + over-relaxed update sweeps on a
+ * 34x34 grid (flat row-major storage).
+ */
+
+double lu_u[1156];
+double lu_rsd[1156];
+
+void compute_rsd(int n)
+{
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double north = lu_u[(i - 1) * n + j];
+            double south = lu_u[(i + 1) * n + j];
+            double west = lu_u[i * n + j - 1];
+            double east = lu_u[i * n + j + 1];
+            lu_rsd[i * n + j] = 0.25 * (north + south + west + east)
+                - lu_u[i * n + j];
+        }
+    }
+}
+
+void ssor_update(int n, double omega)
+{
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double delta = omega * lu_rsd[i * n + j];
+            lu_u[i * n + j] = lu_u[i * n + j] + delta;
+        }
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 1156; i++) {
+        lu_u[i] = 1.0;
+        lu_rsd[i] = 0.0;
+    }
+    for (int sweep = 0; sweep < 4; sweep++) {
+        compute_rsd(34);
+        ssor_update(34, 1.2);
+    }
+    return 0;
+}

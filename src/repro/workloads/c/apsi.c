@@ -1,0 +1,47 @@
+/* Table I survey stand-in: APSI (SPEC) — mesoscale pollutant transport.
+ * Miniature shape: vertical diffusion and horizontal advection of a
+ * concentration field over a 32-column x 32-level atmosphere.
+ */
+
+double conc[1024];
+double wind[1024];
+double diff_k[32];
+
+void vertical_diffusion(int ncol, int nlev, double dt)
+{
+    for (int c = 0; c < ncol; c++) {
+        for (int l = 1; l < nlev - 1; l++) {
+            double up = conc[c * nlev + l + 1];
+            double down = conc[c * nlev + l - 1];
+            double mid = conc[c * nlev + l];
+            double flux = diff_k[l] * (up - 2.0 * mid + down);
+            conc[c * nlev + l] = mid + dt * flux;
+        }
+    }
+}
+
+void horizontal_advection(int ncol, int nlev, double dt)
+{
+    for (int c = 1; c < ncol; c++) {
+        for (int l = 0; l < nlev; l++) {
+            double gradient = conc[c * nlev + l] - conc[(c - 1) * nlev + l];
+            double carried = wind[c * nlev + l] * gradient;
+            conc[c * nlev + l] = conc[c * nlev + l] - dt * carried;
+        }
+    }
+}
+
+int main()
+{
+    for (int l = 0; l < 32; l++)
+        diff_k[l] = 0.01;
+    for (int i = 0; i < 1024; i++) {
+        conc[i] = 1.0;
+        wind[i] = 0.5;
+    }
+    for (int step = 0; step < 5; step++) {
+        vertical_diffusion(32, 32, 0.1);
+        horizontal_advection(32, 32, 0.1);
+    }
+    return 0;
+}

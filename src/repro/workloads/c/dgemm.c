@@ -1,0 +1,66 @@
+/* DGEMM benchmark stand-in (paper Table IV, Fig. 7b).
+ *
+ * Square matrix multiply C += A*B over flat row-major arrays, repeated
+ * DGEMM_NREP times, validated by an exact checksum.
+ *
+ * Modeled closed forms (validated by the test suite):
+ *   dgemm_kernel : 2n^3 + n^2 FP   (mul+add per k-iteration, one add
+ *                                   folding the accumulator into C)
+ *   checksum     : n FP            (one add per element of the first row)
+ *
+ * The explicit i*n+k index arithmetic is what -O0 lowers to imul and
+ * -O2 folds into SIB addressing — the CLI/ablation tests rely on it.
+ */
+
+#ifndef DGEMM_N
+#define DGEMM_N 8
+#endif
+#ifndef DGEMM_NREP
+#define DGEMM_NREP 1
+#endif
+
+double mat_a[4096];
+double mat_b[4096];
+double mat_c[4096];
+
+void dgemm_kernel(double *aa, double *bb, double *cc, int n)
+{
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double sum = 0.0;
+            for (int k = 0; k < n; k++)
+                sum = sum + aa[i * n + k] * bb[k * n + j];
+            cc[i * n + j] = cc[i * n + j] + sum;
+        }
+    }
+}
+
+double checksum(double *cc, int n)
+{
+    double s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + cc[i];
+    return s;
+}
+
+int main()
+{
+    for (int i = 0; i < DGEMM_N * DGEMM_N; i++) {
+        mat_a[i] = 1.0;
+        mat_b[i] = 2.0;
+        mat_c[i] = 0.0;
+    }
+
+    for (int rep = 0; rep < DGEMM_NREP; rep++)
+        dgemm_kernel(mat_a, mat_b, mat_c, DGEMM_N);
+
+    /* Every C entry is 2n*NREP, so the first-row checksum is exactly
+     * 2*NREP*n^2 — integer-representable, hence comparable with ==. */
+    double s = checksum(mat_c, DGEMM_N);
+    double expected = (double)(2 * DGEMM_NREP * DGEMM_N * DGEMM_N);
+    #pragma @Annotation {ratio:0}
+    if (s != expected)
+        return 1;
+    printf("dgemm checksum %f ok\n", s);
+    return 0;
+}

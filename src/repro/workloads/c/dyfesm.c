@@ -1,0 +1,43 @@
+/* Table I survey stand-in: DYFESM (Perfect Club) — dynamic finite-element
+ * structural mechanics.  Miniature shape: per-element stiffness
+ * contributions gathered into a global force vector, then an explicit
+ * Newmark-style displacement update.
+ */
+
+double fe_disp[130];
+double fe_force[130];
+double fe_veloc[130];
+
+void gather_forces(int nelem, double stiffness)
+{
+    for (int i = 0; i < nelem + 1; i++)
+        fe_force[i] = 0.0;
+    for (int e = 0; e < nelem; e++) {
+        double strain = fe_disp[e + 1] - fe_disp[e];
+        double load = stiffness * strain;
+        fe_force[e] = fe_force[e] + load;
+        fe_force[e + 1] = fe_force[e + 1] - load;
+    }
+}
+
+void newmark_update(int nnode, double dt, double mass)
+{
+    for (int i = 1; i < nnode - 1; i++) {
+        double accel = fe_force[i] / mass;
+        fe_veloc[i] = fe_veloc[i] + dt * accel;
+        fe_disp[i] = fe_disp[i] + dt * fe_veloc[i];
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 130; i++) {
+        fe_disp[i] = 0.01 * (double)i;
+        fe_veloc[i] = 0.0;
+    }
+    for (int step = 0; step < 10; step++) {
+        gather_forces(128, 50.0);
+        newmark_update(129, 0.01, 2.0);
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/* Paper Figure 5 / Section III example: a class member function with an
+ * annotated inner loop.
+ *
+ * The generated model is the paper's artifact: ``A_foo_2(y)`` (class +
+ * name + arity), per-statement metric updates in line order,
+ * ``handle_function_call`` composing the callee into ``main``, and the
+ * call-site parameter ``y_<line>`` bubbling up from the annotation.
+ *
+ * The inner loop truly runs to 100, so evaluating the model at y=99
+ * (inclusive annotated bound) must match the dynamic measurement:
+ * 2 FP per inner iteration x 16 outer x 100 inner = 3200.
+ */
+
+class A {
+public:
+    double d;
+    void foo(double *a, double *b) {
+        for (int i = 0; i < 16; i++) {
+            #pragma @Annotation {lp_cond:y}
+            for (int j = 0; j < 100; j++) {
+                a[j] = b[j] * 2.0 + d;
+            }
+        }
+    }
+};
+
+double u[128];
+double v[128];
+
+int main()
+{
+    A obj;
+    obj.d = 1.5;
+    obj.foo(u, v);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/* Table I survey stand-in: LUCAS (SPEC) — Lucas-Lehmer Mersenne-prime
+ * testing.  Miniature shape: the squaring recurrence s = s*s - 2 mod
+ * (2^p - 1) carried in limbs, integer-dominated like the original.
+ */
+
+long limbs[16];
+long carry_buf[16];
+
+void square_mod(int nlimb, long modulus)
+{
+    for (int i = 0; i < nlimb; i++) {
+        long sq = limbs[i] * limbs[i];
+        long folded = sq % modulus;
+        carry_buf[i] = folded;
+    }
+    for (int i = 0; i < nlimb; i++) {
+        long shifted = carry_buf[i] + limbs[i] / 3;
+        limbs[i] = shifted % modulus;
+    }
+}
+
+int lucas_lehmer(int p, int nlimb)
+{
+    long modulus = 8191;          /* 2^13 - 1 */
+    for (int i = 0; i < nlimb; i++)
+        limbs[i] = 4;
+    for (int step = 0; step < p - 2; step++) {
+        square_mod(nlimb, modulus);
+        for (int i = 0; i < nlimb; i++)
+            limbs[i] = limbs[i] - 2;
+    }
+    return (int)(limbs[0] % modulus);
+}
+
+int main()
+{
+    int residue = lucas_lehmer(13, 16);
+    printf("lucas residue %d\n", residue);
+    return 0;
+}

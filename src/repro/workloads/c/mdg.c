@@ -1,0 +1,45 @@
+/* Table I survey stand-in: MDG (Perfect Club) — molecular dynamics of
+ * flexible water molecules.  Miniature shape: all-pairs Lennard-Jones-ish
+ * forces over a triangular interaction loop, then a leapfrog update.
+ */
+
+double pos_x[64];
+double vel_x[64];
+double force_x[64];
+
+void compute_forces(int natoms)
+{
+    for (int i = 0; i < natoms; i++)
+        force_x[i] = 0.0;
+    for (int i = 1; i < natoms; i++) {
+        for (int j = 0; j < i; j++) {
+            double dx = pos_x[i] - pos_x[j];
+            double r2 = dx * dx + 0.25;
+            double inv = 1.0 / r2;
+            double f = inv * inv * dx;
+            force_x[i] = force_x[i] + f;
+            force_x[j] = force_x[j] - f;
+        }
+    }
+}
+
+void leapfrog(int natoms, double dt)
+{
+    for (int i = 0; i < natoms; i++) {
+        vel_x[i] = vel_x[i] + dt * force_x[i];
+        pos_x[i] = pos_x[i] + dt * vel_x[i];
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 64; i++) {
+        pos_x[i] = 0.5 * (double)i;
+        vel_x[i] = 0.0;
+    }
+    for (int step = 0; step < 8; step++) {
+        compute_forces(64);
+        leapfrog(64, 0.002);
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/* Table I survey stand-in: MG3D (Perfect Club) — 3D seismic migration.
+ * Miniature shape: a depth-extrapolation sweep applying a 7-point
+ * smoothing operator over a 12x12x12 volume, plus an energy reduction.
+ */
+
+double vol_in[1728];
+double vol_out[1728];
+
+void extrapolate(int n, double w)
+{
+    for (int z = 1; z < n - 1; z++) {
+        for (int y = 1; y < n - 1; y++) {
+            for (int x = 1; x < n - 1; x++) {
+                int c = (z * n + y) * n + x;
+                double neighbors = vol_in[c - 1] + vol_in[c + 1]
+                    + vol_in[c - n] + vol_in[c + n]
+                    + vol_in[c - n * n] + vol_in[c + n * n];
+                vol_out[c] = (1.0 - w) * vol_in[c]
+                    + w * 0.16666666 * neighbors;
+            }
+        }
+    }
+}
+
+double energy(int total)
+{
+    double sum = 0.0;
+    for (int i = 0; i < total; i++)
+        sum = sum + vol_out[i] * vol_out[i];
+    return sum;
+}
+
+int main()
+{
+    for (int i = 0; i < 1728; i++) {
+        vol_in[i] = 1.0;
+        vol_out[i] = 0.0;
+    }
+    for (int depth = 0; depth < 4; depth++) {
+        extrapolate(12, 0.5);
+        for (int i = 0; i < 1728; i++)
+            vol_in[i] = vol_out[i];
+    }
+    double e = energy(1728);
+    printf("mg3d energy %f\n", e);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/* Table I survey stand-in: MGRID (SPEC/NPB) — multigrid Poisson solver.
+ * Miniature shape: one V-cycle leg in 1D — smooth on the fine grid,
+ * restrict the residual, smooth on the coarse grid, prolongate back.
+ */
+
+double fine[128];
+double coarse[64];
+double resid[128];
+
+void smooth(double *v, double *r, int n)
+{
+    for (int i = 1; i < n - 1; i++) {
+        double avg = 0.5 * (v[i - 1] + v[i + 1]);
+        v[i] = avg + 0.25 * r[i];
+    }
+}
+
+void restrict_residual(int nc)
+{
+    for (int i = 1; i < nc - 1; i++) {
+        double left = resid[2 * i - 1];
+        double mid = resid[2 * i];
+        double right = resid[2 * i + 1];
+        coarse[i] = 0.25 * (left + 2.0 * mid + right);
+    }
+}
+
+void prolongate(int nc)
+{
+    for (int i = 1; i < nc - 1; i++) {
+        fine[2 * i] = fine[2 * i] + coarse[i];
+        fine[2 * i + 1] = fine[2 * i + 1] + 0.5 * coarse[i];
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 128; i++) {
+        fine[i] = 0.0;
+        resid[i] = 1.0;
+    }
+    for (int cycle = 0; cycle < 6; cycle++) {
+        smooth(fine, resid, 128);
+        restrict_residual(64);
+        smooth(coarse, coarse, 64);
+        prolongate(64);
+    }
+    return 0;
+}

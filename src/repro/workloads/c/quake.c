@@ -1,0 +1,48 @@
+/* Table I survey stand-in: QUAKE (SPEC) — seismic wave propagation in a
+ * basin.  Miniature shape: damped second-order wave equation on a 32x32
+ * grid, leapfrogging displacement fields.
+ */
+
+double disp_new[1024];
+double disp_cur[1024];
+double disp_old[1024];
+
+void wave_step(int n, double c2, double damping)
+{
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double laplace = disp_cur[(i - 1) * n + j]
+                + disp_cur[(i + 1) * n + j]
+                + disp_cur[i * n + j - 1]
+                + disp_cur[i * n + j + 1]
+                - 4.0 * disp_cur[i * n + j];
+            double inertial = 2.0 * disp_cur[i * n + j]
+                - disp_old[i * n + j];
+            disp_new[i * n + j] = damping * (inertial + c2 * laplace);
+        }
+    }
+}
+
+void rotate_fields(int n)
+{
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            disp_old[i * n + j] = disp_cur[i * n + j];
+            disp_cur[i * n + j] = disp_new[i * n + j];
+        }
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 1024; i++) {
+        disp_cur[i] = 0.0;
+        disp_old[i] = 0.0;
+    }
+    disp_cur[16 * 32 + 16] = 1.0;     /* point source at the center */
+    for (int step = 0; step < 6; step++) {
+        wave_step(32, 0.2, 0.995);
+        rotate_fields(32);
+    }
+    return 0;
+}

@@ -1,0 +1,138 @@
+/* STREAM benchmark stand-in (paper Tables III, Fig. 7a).
+ *
+ * Mirrors McCalpin's STREAM: four tuned kernels (copy/scale/add/triad)
+ * run NTIMES times over three arrays, timed with mysecond(), and checked
+ * against a scalar recurrence of the expected values.
+ *
+ * Modeled closed forms (validated by the test suite):
+ *   tuned_copy  : 0 FP per element        tuned_scale : 1 FP per element
+ *   tuned_add   : 1 FP per element        tuned_triad : 2 FP per element
+ *   main        : 46*N + 120 FP  (10 reps x 4N + 6N validation + 120
+ *                 scalar expected-value recurrence in check_results)
+ *
+ * The only static/dynamic gap is library-internal FP (mysecond's
+ * gettimeofday conversion, printf's %f binary-to-decimal loop) — the
+ * paper's Table III error mechanism.
+ */
+
+#ifndef STREAM_ARRAY_SIZE
+#define STREAM_ARRAY_SIZE 2000
+#endif
+#define NTIMES 10
+
+double a[STREAM_ARRAY_SIZE];
+double b[STREAM_ARRAY_SIZE];
+double c[STREAM_ARRAY_SIZE];
+
+double times[80];
+int errors;
+
+void tuned_copy(double *dst, double *src, int n)
+{
+    for (int j = 0; j < n; j++)
+        dst[j] = src[j];
+}
+
+void tuned_scale(double *dst, double *src, double scalar, int n)
+{
+    for (int j = 0; j < n; j++)
+        dst[j] = scalar * src[j];
+}
+
+void tuned_add(double *dst, double *x, double *y, int n)
+{
+    for (int j = 0; j < n; j++)
+        dst[j] = x[j] + y[j];
+}
+
+void tuned_triad(double *dst, double *x, double *y, double scalar, int n)
+{
+    for (int j = 0; j < n; j++)
+        dst[j] = x[j] + scalar * y[j];
+}
+
+void check_results(double *pa, double *pb, double *pc, double scalar, int n)
+{
+    double aj = 1.0;
+    double bj = 2.0;
+    double cj = 0.0;
+    double abound = 0.0;
+    double bbound = 0.0;
+    double cbound = 0.0;
+    double eps = 1.0e-13;
+    double growth = 1.0;
+    double aerr = 0.0;
+    double berr = 0.0;
+    double cerr = 0.0;
+
+    /* Replay the NTIMES kernel reps on scalar images of the arrays,
+     * tracking a floating-point error bound alongside (12 FP x 10 reps
+     * = the 120 scalar-recurrence FP instructions of the model). */
+    for (int k = 0; k < NTIMES; k++) {
+        cj = aj;
+        bj = scalar * cj;
+        cj = aj + bj;
+        aj = bj + scalar * cj;
+        abound = abound + eps * aj;
+        bbound = bbound + eps * bj;
+        cbound = cbound + eps * cj;
+        eps = eps + eps;
+        growth = growth * 1.125;
+    }
+
+    /* Elementwise validation: 6 FP per element (2 per array). */
+    for (int j = 0; j < n; j++) {
+        aerr = aerr + (pa[j] - aj);
+        berr = berr + (pb[j] - bj);
+        cerr = cerr + (pc[j] - cj);
+    }
+
+    /* The kernels and the recurrence perform bit-identical FP operations,
+     * so the sums are exactly zero; the branches are annotated with the
+     * observed ratio so the static model stays warning-free. */
+    #pragma @Annotation {ratio:0}
+    if (aerr > 1.0e-10) {
+        errors = errors + 1;
+        printf("array a: residual %f exceeds bound %f\n", aerr, abound);
+    }
+    #pragma @Annotation {ratio:0}
+    if (berr > 1.0e-10) {
+        errors = errors + 1;
+        printf("array b: residual %f exceeds bound %f\n", berr, bbound);
+    }
+    #pragma @Annotation {ratio:0}
+    if (cerr > 1.0e-10) {
+        errors = errors + 1;
+        printf("array c: residual %f exceeds bound %f\n", cerr, cbound);
+    }
+}
+
+int main()
+{
+    double scalar = 3.0;
+
+    for (int j = 0; j < STREAM_ARRAY_SIZE; j++) {
+        a[j] = 1.0;
+        b[j] = 2.0;
+        c[j] = 0.0;
+    }
+
+    for (int k = 0; k < NTIMES; k++) {
+        times[8 * k] = mysecond();
+        tuned_copy(c, a, STREAM_ARRAY_SIZE);
+        times[8 * k + 1] = mysecond();
+        times[8 * k + 2] = mysecond();
+        tuned_scale(b, c, scalar, STREAM_ARRAY_SIZE);
+        times[8 * k + 3] = mysecond();
+        times[8 * k + 4] = mysecond();
+        tuned_add(c, a, b, STREAM_ARRAY_SIZE);
+        times[8 * k + 5] = mysecond();
+        times[8 * k + 6] = mysecond();
+        tuned_triad(a, b, c, scalar, STREAM_ARRAY_SIZE);
+        times[8 * k + 7] = mysecond();
+    }
+
+    check_results(a, b, c, scalar, STREAM_ARRAY_SIZE);
+    printf("STREAM validated: %d errors\n", errors);
+    return errors;
+}

@@ -1,0 +1,47 @@
+/* Table I survey stand-in: SWIM (SPEC) — shallow water equations.
+ * Miniature shape: the classic three-field update (u, v, p) with finite
+ * differences on a 32x32 grid; every statement sits in the nests, like
+ * the original's 100% loop coverage.
+ */
+
+double sw_u[1024];
+double sw_v[1024];
+double sw_p[1024];
+
+void update_uv(int n, double dt)
+{
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double dpdx = sw_p[i * n + j + 1] - sw_p[i * n + j - 1];
+            double dpdy = sw_p[(i + 1) * n + j] - sw_p[(i - 1) * n + j];
+            sw_u[i * n + j] = sw_u[i * n + j] - dt * dpdx;
+            sw_v[i * n + j] = sw_v[i * n + j] - dt * dpdy;
+        }
+    }
+}
+
+void update_p(int n, double dt)
+{
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            double dudx = sw_u[i * n + j + 1] - sw_u[i * n + j - 1];
+            double dvdy = sw_v[(i + 1) * n + j] - sw_v[(i - 1) * n + j];
+            double divergence = dudx + dvdy;
+            sw_p[i * n + j] = sw_p[i * n + j] - dt * divergence;
+        }
+    }
+}
+
+int main()
+{
+    for (int i = 0; i < 1024; i++) {
+        sw_u[i] = 0.1;
+        sw_v[i] = 0.1;
+        sw_p[i] = 10.0;
+    }
+    for (int step = 0; step < 6; step++) {
+        update_uv(32, 0.05);
+        update_p(32, 0.05);
+    }
+    return 0;
+}

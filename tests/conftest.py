@@ -1,0 +1,20 @@
+"""Test bootstrap: make ``repro`` importable without installing the package.
+
+Prepends ``<repo>/src`` to ``sys.path`` so ``python -m pytest`` works from a
+fresh checkout without the ``PYTHONPATH=src`` incantation.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+# Subprocess-spawning tests (e.g. running a generated model standalone)
+# need the path in the environment as well, not just in this process.
+_existing = os.environ.get("PYTHONPATH")
+if not _existing:
+    os.environ["PYTHONPATH"] = _SRC
+elif _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = _SRC + os.pathsep + _existing

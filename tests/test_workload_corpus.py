@@ -1,0 +1,80 @@
+"""Corpus invariants: the bundled workload catalog and frontend round-trips.
+
+Complements ``test_workloads.py`` (which checks pipeline behaviour) with
+properties of the corpus *itself*: the catalog is exactly the documented 15
+programs, every bundled source survives lexer -> parser -> printer with a
+stable fixed point, and a missing corpus directory surfaces as a
+:class:`MiraError` rather than a raw ``FileNotFoundError``.
+"""
+
+import os
+
+import pytest
+
+import repro.workloads as workloads
+from repro.errors import MiraError
+from repro.frontend import parse_source
+from repro.frontend.printer import unparse
+from repro.workloads import (EVALUATION_APPS, PAPER_EXAMPLES, SURVEY_APPS,
+                             available, get_source, source_path)
+
+DOCUMENTED = sorted(SURVEY_APPS + EVALUATION_APPS + PAPER_EXAMPLES)
+
+
+class TestCatalogExact:
+    def test_exactly_the_documented_fifteen(self):
+        assert len(DOCUMENTED) == 15
+        assert available() == DOCUMENTED
+
+    def test_catalog_groups_are_disjoint(self):
+        assert not set(SURVEY_APPS) & set(EVALUATION_APPS)
+        assert not set(SURVEY_APPS) & set(PAPER_EXAMPLES)
+        assert not set(EVALUATION_APPS) & set(PAPER_EXAMPLES)
+
+    def test_sources_are_nonempty_and_commented(self):
+        for name in available():
+            text = get_source(name)
+            assert text.strip(), name
+            assert text.lstrip().startswith("/*"), \
+                f"{name}.c should open with a provenance comment"
+
+
+class TestMissingCorpusDir:
+    def test_available_raises_mira_error(self, monkeypatch):
+        monkeypatch.setattr(workloads, "_C_DIR",
+                            os.path.join(workloads._HERE, "no_such_dir"))
+        with pytest.raises(MiraError, match="corpus missing"):
+            available()
+
+    def test_source_path_raises_mira_error(self, monkeypatch):
+        monkeypatch.setattr(workloads, "_C_DIR",
+                            os.path.join(workloads._HERE, "no_such_dir"))
+        with pytest.raises(MiraError):
+            source_path("stream")
+
+    def test_unknown_name_still_mira_error(self):
+        with pytest.raises(MiraError, match="no bundled workload"):
+            source_path("not_a_workload")
+
+
+@pytest.mark.parametrize("name", DOCUMENTED)
+class TestRoundTrip:
+    def test_unparse_reaches_fixed_point(self, name):
+        """source -> AST -> text -> AST -> text must be stable: the printer
+        output re-parses, and printing the re-parse reproduces it."""
+        src = get_source(name)
+        printed = unparse(parse_source(src, filename=name))
+        reprinted = unparse(parse_source(printed, filename=name))
+        assert printed == reprinted
+
+    def test_unparse_preserves_function_set(self, name):
+        src = get_source(name)
+        tu1 = parse_source(src, filename=name)
+        tu2 = parse_source(unparse(tu1), filename=name)
+        names1 = sorted(f.qualified_name for f in tu1.all_functions())
+        names2 = sorted(f.qualified_name for f in tu2.all_functions())
+        assert names1 == names2
+        assert "main" in names2 or name == "listings"
+
+    def test_file_name_matches_catalog(self, name):
+        assert os.path.basename(source_path(name)) == f"{name}.c"
