@@ -18,11 +18,15 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.core import Mira, MiraModel
+from repro.core import BatchAnalyzer, BatchReport, Mira, MiraModel
 from repro.dynamic import TauProfiler, TauReport
-from repro.workloads import get_source
+from repro.workloads import get_source, source_path
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+# Process-wide model memo keyed by the batch engine's content-addressed
+# fingerprint: benches sharing a workload/defines/opt-level build it once.
+_MODEL_MEMO: dict[str, MiraModel] = {}
 
 
 def save_table(name: str, text: str) -> None:
@@ -37,8 +41,31 @@ def save_table(name: str, text: str) -> None:
 def analyze_workload(name: str, defines: dict[str, int] | None = None,
                      opt_level: int = 2) -> MiraModel:
     defs = {k: str(v) for k, v in (defines or {}).items()}
-    return Mira(opt_level=opt_level).analyze(
-        get_source(name), filename=name, predefined=defs)
+    mira = Mira(opt_level=opt_level)
+    source = get_source(name)
+    key = mira.fingerprint(source, filename=name, predefined=defs)
+    model = _MODEL_MEMO.get(key)
+    if model is None:
+        model = mira.analyze(source, filename=name, predefined=defs)
+        _MODEL_MEMO[key] = model
+    return model
+
+
+def batch_corpus(names: list[str] | None = None, jobs: int | None = None,
+                 cache_dir: str | None = None, use_cache: bool | None = None,
+                 opt_level: int = 2) -> BatchReport:
+    """Analyze bundled workloads through the batch engine (all by default).
+
+    Benches must measure the current code, so the on-disk cache is used only
+    when a ``cache_dir`` is given explicitly — never the user's global one.
+    """
+    if use_cache is None:
+        use_cache = cache_dir is not None
+    analyzer = BatchAnalyzer(opt_level=opt_level, jobs=jobs,
+                             cache_dir=cache_dir, use_cache=use_cache)
+    if names is None:
+        return analyzer.analyze_corpus()
+    return analyzer.analyze_paths([source_path(n) for n in names])
 
 
 def profile_workload(model: MiraModel, entry: str = "main") -> TauReport:

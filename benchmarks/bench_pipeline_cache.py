@@ -1,0 +1,75 @@
+"""Pipeline cache: cold vs warm corpus analysis through the batch engine.
+
+The ROADMAP's production-scale story needs repeat corpus analyses to be
+near-free.  This bench measures exactly that: one cold ``BatchAnalyzer``
+pass over the ten Table I survey apps against an empty model cache, then a
+warm pass over the identical inputs where every file is a content-addressed
+cache hit.  Emits ``BENCH_pipeline_cache.json`` with the machine-comparable
+numbers next to the human-readable table.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from _common import OUT_DIR, batch_corpus, rows_to_text, save_table
+
+from repro.workloads import SURVEY_APPS
+
+JOBS = 4
+
+
+def run_batches():
+    cache_dir = tempfile.mkdtemp(prefix="mira-bench-cache-")
+    try:
+        t0 = time.perf_counter()
+        cold = batch_corpus(SURVEY_APPS, jobs=JOBS, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = batch_corpus(SURVEY_APPS, jobs=JOBS, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return cold, cold_s, warm, warm_s
+
+
+def test_pipeline_cache_cold_vs_warm(benchmark):
+    cold, cold_s, warm, warm_s = benchmark(run_batches)
+
+    assert not cold.failed() and not warm.failed()
+    assert cold.cache_hits() == 0
+    assert warm.cache_hits() == len(SURVEY_APPS)
+    # warm must reproduce the cold results exactly
+    for c, w in zip(cold, warm):
+        assert c.model_source == w.model_source
+        assert c.coverage == w.coverage
+    assert warm_s < cold_s
+
+    speedup = cold_s / warm_s
+    rows = [["cold batch", f"{cold_s:.4f}s"],
+            ["warm batch", f"{warm_s:.4f}s"],
+            ["speedup", f"{speedup:.1f}x"],
+            ["files", len(SURVEY_APPS)],
+            ["jobs", JOBS]]
+    save_table("pipeline_cache", rows_to_text(
+        "Pipeline cache — cold vs warm batch analysis",
+        ["metric", "value"], rows,
+        note="Warm batch re-analyzes identical inputs; every file is a "
+             "content-addressed cache hit."))
+    with open(os.path.join(OUT_DIR, "BENCH_pipeline_cache.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump({"cold_seconds": cold_s, "warm_seconds": warm_s,
+                   "speedup": speedup, "files": len(SURVEY_APPS),
+                   "jobs": JOBS}, fh, indent=2)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -28,6 +28,8 @@ MAX_ITER = 200
 
 
 def build():
+    # analyze_workload memoizes on the batch engine's content fingerprint,
+    # so the two tests in this module share one frontend->model build.
     model = analyze_workload("minife", {"NX": NX, "CG_MAX_ITER": MAX_ITER})
     env = minife_env(model, "cg_solve", NX, MAX_ITER,
                      user_row_nnz_estimate(NX))

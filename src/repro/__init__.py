@@ -20,16 +20,18 @@ Quick start::
 from .baselines.pbound import PBoundAnalyzer, PBoundCounts
 from .compiler.arch import ArchDescription, default_arch, load_arch
 from .core import (
-    Metrics, Mira, MiraModel, arithmetic_intensity, instruction_distribution,
-    loop_coverage_source, roofline_estimate,
+    BatchAnalyzer, BatchReport, Metrics, Mira, MiraModel, ModelCache,
+    arithmetic_intensity, instruction_distribution, loop_coverage_source,
+    roofline_estimate,
 )
 from .dynamic import TauProfiler, TauReport
-from .errors import MiraError
+from .errors import BatchError, MiraError
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "ArchDescription", "Metrics", "Mira", "MiraError", "MiraModel",
+    "ArchDescription", "BatchAnalyzer", "BatchError", "BatchReport",
+    "Metrics", "Mira", "MiraError", "MiraModel", "ModelCache",
     "PBoundAnalyzer", "PBoundCounts", "TauProfiler", "TauReport",
     "__version__", "arithmetic_intensity", "default_arch",
     "instruction_distribution", "load_arch", "loop_coverage_source",

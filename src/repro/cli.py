@@ -6,6 +6,8 @@ Subcommands::
         run the full pipeline, write/print the generated Python model
     mira eval FILE FUNCTION [k=v ...]
         analyze and evaluate one function's model with parameter bindings
+    mira batch [FILE ...] [--corpus] [--jobs N] [--cache-dir D] [--no-cache]
+        analyze a whole corpus in parallel with model caching
     mira disasm FILE
         compile and print the objdump-style listing
     mira coverage FILE [FILE ...]
@@ -78,8 +80,16 @@ def cmd_eval(args) -> int:
                               predefined=_parse_defines(args.define))
     env = {}
     for b in args.bindings:
-        k, v = b.split("=", 1)
-        env[k] = int(v)
+        k, sep, v = b.partition("=")
+        if not sep or not k:
+            raise SystemExit(
+                f"mira eval: bad binding {b!r} (expected param=value)")
+        try:
+            env[k] = int(v)
+        except ValueError:
+            raise SystemExit(
+                f"mira eval: bad binding {b!r} "
+                f"(value must be an integer, got {v!r})") from None
     metrics = model.evaluate(args.function, env)
     print(f"# {args.function} with {env}")
     for cat, n in sorted(metrics.as_dict().items(), key=lambda kv: -kv[1]):
@@ -88,6 +98,32 @@ def cmd_eval(args) -> int:
     fp = metrics.fp_instructions(model.arch.fp_arith_categories)
     print(f"{fp:>16}  FP_INS")
     return 0
+
+
+def cmd_batch(args) -> int:
+    from .core.batch import BatchAnalyzer
+
+    analyzer = BatchAnalyzer(arch=_arch_from_flag(args.arch),
+                             opt_level=args.opt,
+                             jobs=args.jobs,
+                             cache_dir=args.cache_dir,
+                             use_cache=not args.no_cache)
+    predefined = _parse_defines(args.define)
+    paths = list(args.files)
+    if args.corpus or not paths:
+        # --corpus, or no files at all → the bundled 15-program corpus.
+        from .workloads import available, source_path
+
+        paths.extend(source_path(n) for n in available())
+    report = analyzer.analyze_paths(paths, predefined=predefined)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_table())
+    for r in report.failed():
+        print(f"error: {r.name}: {r.error.error_type}: {r.error}",
+              file=sys.stderr)
+    return 0 if not report.failed() else 1
 
 
 def cmd_disasm(args) -> int:
@@ -156,6 +192,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("bindings", nargs="*", metavar="param=value")
     common(p)
     p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser("batch",
+                       help="analyze many files in parallel with caching")
+    p.add_argument("files", nargs="*", metavar="FILE",
+                   help="sources to analyze (default: the bundled corpus)")
+    p.add_argument("--corpus", action="store_true",
+                   help="analyze the bundled 15-program corpus")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes (default: cpu count; 1 = serial)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="model cache directory "
+                        "(default ~/.cache/mira/models)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk model cache")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    common(p)
+    p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("disasm", help="print the compiled listing")
     p.add_argument("file")

@@ -206,6 +206,24 @@ class ArchDescription:
     def is_fp_data(self, category: str) -> bool:
         return category in self.fp_data_categories
 
+    def fingerprint(self) -> str:
+        """Content hash of the full machine description.
+
+        Any change to the category mapping or machine parameters changes the
+        fingerprint, which invalidates cached models built against it (the
+        batch engine keys its on-disk cache on this).  Computed once: a
+        description is treated as immutable after its first fingerprint —
+        batch runs hash it per file, and it is ~100 mnemonic entries of JSON.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import hashlib
+
+            cached = hashlib.sha256(
+                self.to_json().encode("utf-8")).hexdigest()
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
     # -- serialization -----------------------------------------------------------
     def to_json(self) -> str:
         return json.dumps(

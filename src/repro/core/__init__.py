@@ -7,8 +7,11 @@ loop-coverage survey tool.
 
 from .analysis import (RooflineEstimate, arithmetic_intensity,
                        instruction_distribution, roofline_estimate)
+from .batch import (BatchAnalyzer, BatchItem, BatchReport, BatchResult,
+                    FunctionSummary, ModelCache)
 from .coverage import CoverageReport, loop_coverage, loop_coverage_source
-from .input_processor import InputProcessor, ProcessedInput
+from .input_processor import (InputProcessor, ProcessedInput,
+                              source_fingerprint)
 from .metric_generator import (CallTerm, FunctionModel, GeneratorOptions,
                                MetricGenerator, MetricTerm)
 from .mira import Mira, MiraModel
@@ -17,11 +20,12 @@ from .model_generator import (compile_model, evaluate_model,
 from .model_runtime import Metrics, handle_function_call
 
 __all__ = [
-    "CallTerm", "CoverageReport", "FunctionModel", "GeneratorOptions",
+    "BatchAnalyzer", "BatchItem", "BatchReport", "BatchResult", "CallTerm",
+    "CoverageReport", "FunctionModel", "FunctionSummary", "GeneratorOptions",
     "InputProcessor", "Metrics", "MetricGenerator", "MetricTerm", "Mira",
-    "MiraModel", "ProcessedInput", "RooflineEstimate",
+    "MiraModel", "ModelCache", "ProcessedInput", "RooflineEstimate",
     "arithmetic_intensity", "compile_model", "evaluate_model",
     "generate_model_source", "handle_function_call",
     "instruction_distribution", "loop_coverage", "loop_coverage_source",
-    "model_entry_name", "roofline_estimate",
+    "model_entry_name", "roofline_estimate", "source_fingerprint",
 ]

@@ -1,0 +1,555 @@
+"""Batch corpus analysis: many sources, parallel workers, model caching.
+
+The paper's evaluation is corpus-scale (Table I surveys ten applications;
+Tables II-V re-analyze stream/dgemm/miniFE under several architectures and
+opt levels), but :class:`~repro.core.mira.Mira` analyzes one source per call
+and recomputes everything each time.  This module makes corpus-scale runs
+first-class:
+
+* :class:`BatchAnalyzer` fans a set of sources — file paths, in-memory
+  strings, or the whole bundled corpus — across a ``ProcessPoolExecutor``,
+* a content-addressed on-disk :class:`ModelCache` keyed on
+  ``(source hash, arch fingerprint, opt level, predefines)`` makes repeat
+  analyses near-free,
+* one bad file never aborts the batch: per-file failures become
+  :class:`BatchResult` entries carrying a :class:`~repro.errors.BatchError`,
+* :class:`BatchReport` aggregates per-function metrics, corpus-wide loop
+  coverage, and cache-hit statistics.
+
+Cache layout: ``<cache_dir>/<key[:2]>/<key>.json`` — one JSON payload per
+analysis, where ``key`` is the :func:`source_fingerprint` of the analysis.
+
+Typical use::
+
+    from repro.core.batch import BatchAnalyzer
+
+    report = BatchAnalyzer(jobs=4).analyze_corpus()
+    print(report.format_table())
+    assert not report.failed()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from ..compiler.arch import ArchDescription, default_arch
+from ..errors import BatchError, MiraError
+from .coverage import loop_coverage
+from .mira import Mira
+
+__all__ = [
+    "BatchAnalyzer", "BatchItem", "BatchReport", "BatchResult",
+    "FunctionSummary", "ModelCache",
+]
+
+
+# ---------------------------------------------------------------------------
+# inputs
+# ---------------------------------------------------------------------------
+
+def _name_from_path(path: str) -> str:
+    return os.path.basename(path).rsplit(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of work: a named source, from disk or in-memory."""
+
+    name: str
+    source: str
+    filename: str = "<input>"
+
+    @staticmethod
+    def from_path(path: str) -> "BatchItem":
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return BatchItem(name=_name_from_path(path), source=source,
+                         filename=path)
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FunctionSummary:
+    """Per-function slice of a file's analysis.
+
+    ``counts``/``total``/``fp_ins`` are filled only when the function's model
+    is fully concrete (no free parameters left unbound); parametric models
+    report their parameter names instead.
+    """
+
+    qualified_name: str
+    model_name: str
+    params: list = field(default_factory=list)
+    warnings: list = field(default_factory=list)
+    counts: dict | None = None
+    total: int | None = None
+    fp_ins: int | None = None
+
+
+@dataclass
+class BatchResult:
+    """The outcome for one file — success or isolated failure."""
+
+    name: str
+    filename: str
+    ok: bool
+    cache_key: str = ""
+    from_cache: bool = False
+    elapsed: float = 0.0
+    functions: dict = field(default_factory=dict)  # qname -> FunctionSummary
+    coverage: dict = field(default_factory=dict)
+    model_source: str = ""
+    error: BatchError | None = None
+
+    @property
+    def status(self) -> str:
+        if not self.ok:
+            return "FAIL"
+        return "cached" if self.from_cache else "ok"
+
+
+@dataclass
+class BatchReport:
+    """Corpus-wide view over all :class:`BatchResult` entries."""
+
+    results: list = field(default_factory=list)
+    elapsed: float = 0.0
+    jobs: int = 1
+    cache_stats: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, name: str) -> BatchResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise BatchError(f"no batch result named {name!r}; "
+                         f"have: {[r.name for r in self.results]}")
+
+    def succeeded(self) -> list:
+        return [r for r in self.results if r.ok]
+
+    def failed(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+    def aggregate(self) -> dict:
+        """Corpus-wide metrics: file/function tallies and loop coverage."""
+        ok = self.succeeded()
+        stmts = sum(r.coverage.get("statements", 0) for r in ok)
+        in_loop = sum(r.coverage.get("in_loop_statements", 0) for r in ok)
+        return {
+            "files": len(self.results),
+            "succeeded": len(ok),
+            "failed": len(self.failed()),
+            "cache_hits": self.cache_hits(),
+            "functions": sum(len(r.functions) for r in ok),
+            "loops": sum(r.coverage.get("loops", 0) for r in ok),
+            "statements": stmts,
+            "in_loop_statements": in_loop,
+            "loop_coverage_pct": round(100.0 * in_loop / stmts, 1) if stmts else 0.0,
+            "elapsed_seconds": round(self.elapsed, 4),
+            "jobs": self.jobs,
+        }
+
+    # -- rendering ---------------------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        files = []
+        for r in self.results:
+            entry: dict = {
+                "name": r.name,
+                "filename": r.filename,
+                "status": r.status,
+                "cache_key": r.cache_key,
+                "elapsed_seconds": round(r.elapsed, 4),
+            }
+            if r.ok:
+                entry["coverage"] = r.coverage
+                entry["functions"] = {
+                    q: {
+                        "model_name": f.model_name,
+                        "params": f.params,
+                        "warnings": f.warnings,
+                        "counts": f.counts,
+                        "total": f.total,
+                        "fp_ins": f.fp_ins,
+                    }
+                    for q, f in r.functions.items()
+                }
+            else:
+                entry["error"] = {"type": r.error.error_type,
+                                  "message": str(r.error)}
+            files.append(entry)
+        doc = {"aggregate": self.aggregate(), "files": files}
+        if self.cache_stats:
+            doc["cache_stats"] = self.cache_stats
+        return json.dumps(doc, indent=indent)
+
+    def format_table(self) -> str:
+        header = ["File", "Status", "Funcs", "Loops", "InLoop%", "Time"]
+        rows = []
+        for r in self.results:
+            if r.ok:
+                pct = r.coverage.get("percentage", 0.0)
+                rows.append([r.name, r.status, len(r.functions),
+                             r.coverage.get("loops", 0), f"{pct:.0f}%",
+                             f"{r.elapsed * 1000:.0f}ms"])
+            else:
+                rows.append([r.name, r.status,
+                             f"{r.error.error_type}: {r.error}", "", "", ""])
+        widths = [max(len(str(h)), max((len(str(row[i])) for row in rows),
+                                       default=0))
+                  for i, h in enumerate(header)]
+        lines = ["  ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in rows:
+            lines.append("  ".join(str(c).ljust(w)
+                                   for c, w in zip(row, widths)))
+        agg = self.aggregate()
+        lines.append("")
+        lines.append(
+            f"{agg['succeeded']}/{agg['files']} analyzed, "
+            f"{agg['failed']} failed, {agg['cache_hits']} cache hit(s), "
+            f"{agg['functions']} function model(s), corpus loop coverage "
+            f"{agg['loop_coverage_pct']}% "
+            f"({agg['elapsed_seconds']}s, jobs={agg['jobs']})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the on-disk model cache
+# ---------------------------------------------------------------------------
+
+class ModelCache:
+    """Content-addressed JSON store of per-file analysis payloads.
+
+    Keys are :meth:`Mira.fingerprint` hex digests; a key names its payload
+    forever, so entries are immutable and eviction is just file deletion.
+    Writes are atomic (``os.replace`` of a temp file), which makes the cache
+    safe under concurrent batch runs sharing a directory.
+    """
+
+    def __init__(self, cache_dir: str | None = None) -> None:
+        self.cache_dir = cache_dir or self.default_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def default_dir() -> str:
+        base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache")
+        return os.path.join(base, "mira", "models")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            self.hits += 1
+            return payload
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every cached payload; returns the number removed."""
+        removed = 0
+        for dirpath, _dirnames, filenames in os.walk(self.cache_dir):
+            for fn in filenames:
+                if fn.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, fn))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "dir": self.cache_dir}
+
+
+# ---------------------------------------------------------------------------
+# the worker (runs in child processes; must stay module-level picklable)
+# ---------------------------------------------------------------------------
+
+def _analyze_one(spec: dict) -> dict:
+    """Analyze one source; returns the JSON-able payload that is cached.
+
+    Never raises: failures are folded into the payload so one bad file
+    cannot take down the pool or abort the batch.
+    """
+    t0 = time.perf_counter()
+    try:
+        arch = ArchDescription.from_json(spec["arch_json"])
+        mira = Mira(arch=arch, opt_level=spec["opt_level"],
+                    default_branch_ratio=spec["branch_ratio"])
+        model = mira.analyze(spec["source"], filename=spec["filename"],
+                             predefined=spec["predefined"])
+        functions = {}
+        for qname, fm in model.function_models().items():
+            params = model.parameters(qname)
+            counts = total = fp = None
+            if not params:
+                try:
+                    metrics = model.evaluate(qname)
+                    counts = metrics.as_dict()
+                    total = metrics.total()
+                    fp = metrics.fp_instructions(arch.fp_arith_categories)
+                except (MiraError, RecursionError):
+                    pass  # stays parametric-only in the summary
+            functions[qname] = {
+                "model_name": fm.model_name,
+                "params": list(params),
+                "warnings": list(fm.warnings),
+                "counts": counts,
+                "total": total,
+                "fp_ins": fp,
+            }
+        cov = loop_coverage(model.processed.tu, spec["name"])
+        return {
+            "ok": True,
+            "functions": functions,
+            "coverage": {
+                "loops": cov.loops,
+                "statements": cov.statements,
+                "in_loop_statements": cov.in_loop_statements,
+                "percentage": round(cov.percentage, 2),
+            },
+            "model_source": model.python_source(),
+            "elapsed": time.perf_counter() - t0,
+        }
+    except MiraError as exc:
+        return {"ok": False, "error_type": type(exc).__name__,
+                "error": str(exc), "elapsed": time.perf_counter() - t0}
+    except Exception as exc:  # a worker crash must not kill the batch
+        return {"ok": False, "error_type": type(exc).__name__,
+                "error": f"unexpected: {exc}",
+                "elapsed": time.perf_counter() - t0}
+
+
+def _result_from_payload(item: BatchItem, key: str, payload: dict,
+                         from_cache: bool) -> BatchResult:
+    # A cache hit's payload carries the *original* analysis time; the hit
+    # itself cost ~nothing, and that is what the result must report.
+    elapsed = 0.0 if from_cache else payload.get("elapsed", 0.0)
+    if not payload.get("ok"):
+        err = BatchError(payload.get("error", "unknown failure"),
+                         error_type=payload.get("error_type", "MiraError"))
+        return BatchResult(name=item.name, filename=item.filename, ok=False,
+                           cache_key=key, from_cache=from_cache,
+                           elapsed=elapsed, error=err)
+    functions = {
+        q: FunctionSummary(
+            qualified_name=q,
+            model_name=f["model_name"],
+            params=list(f["params"]),
+            warnings=list(f["warnings"]),
+            counts=(dict(f["counts"]) if f["counts"] is not None else None),
+            total=f["total"],
+            fp_ins=f["fp_ins"],
+        )
+        for q, f in payload["functions"].items()
+    }
+    return BatchResult(name=item.name, filename=item.filename, ok=True,
+                       cache_key=key, from_cache=from_cache,
+                       elapsed=elapsed,
+                       functions=functions,
+                       coverage=dict(payload["coverage"]),
+                       model_source=payload["model_source"])
+
+
+class _child_importable:
+    """Make spawned workers able to ``import repro``, without side effects.
+
+    ``fork`` children inherit ``sys.path``; ``spawn`` children only inherit
+    the environment, so the package root goes on ``PYTHONPATH`` while the
+    pool is being populated — and is restored afterwards so the batch never
+    permanently rewrites the host process's environment.
+    """
+
+    def __enter__(self):
+        self._saved = os.environ.get("PYTHONPATH")
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        existing = self._saved or ""
+        if pkg_root not in existing.split(os.pathsep):
+            os.environ["PYTHONPATH"] = (
+                pkg_root + (os.pathsep + existing if existing else ""))
+        return self
+
+    def __exit__(self, *exc):
+        if self._saved is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = self._saved
+        return False
+
+
+# ---------------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------------
+
+class BatchAnalyzer:
+    """Corpus-scale front end over :class:`Mira`.
+
+    Parameters mirror :class:`Mira` plus the batch knobs:
+
+    :param jobs: worker processes (``None`` = ``os.cpu_count()``; ``1`` runs
+        serially in-process, which is also the automatic fallback when the
+        platform cannot spawn a process pool).
+    :param cache_dir: on-disk model cache location
+        (default ``~/.cache/mira/models``).
+    :param use_cache: set ``False`` to bypass the cache entirely.
+    """
+
+    def __init__(self, arch: ArchDescription | None = None,
+                 opt_level: int = 2,
+                 default_branch_ratio: float = 0.5,
+                 jobs: int | None = None,
+                 cache_dir: str | None = None,
+                 use_cache: bool = True) -> None:
+        self.arch = arch or default_arch()
+        self.opt_level = opt_level
+        self.default_branch_ratio = default_branch_ratio
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.use_cache = use_cache
+        self.cache = ModelCache(cache_dir) if use_cache else None
+        self._mira = Mira(arch=self.arch, opt_level=opt_level,
+                          default_branch_ratio=default_branch_ratio)
+
+    # -- entry points ------------------------------------------------------------
+    def analyze_paths(self, paths, predefined: dict | None = None) -> BatchReport:
+        # Unreadable/undecodable files are isolated like analysis failures,
+        # and every result stays at its input position.
+        entries: list = []
+        for path in paths:
+            try:
+                entries.append(BatchItem.from_path(path))
+            except (OSError, UnicodeDecodeError) as exc:
+                entries.append(BatchResult(
+                    name=_name_from_path(path), filename=path, ok=False,
+                    error=BatchError(str(exc), error_type=type(exc).__name__)))
+        report = self.analyze_items(
+            [e for e in entries if isinstance(e, BatchItem)],
+            predefined=predefined)
+        analyzed = iter(report.results)
+        report.results = [e if isinstance(e, BatchResult) else next(analyzed)
+                          for e in entries]
+        return report
+
+    def analyze_sources(self, sources, predefined: dict | None = None) -> BatchReport:
+        """``sources``: mapping of name -> C source text."""
+        items = [BatchItem(name=n, source=s, filename=n)
+                 for n, s in sources.items()]
+        return self.analyze_items(items, predefined=predefined)
+
+    def analyze_corpus(self, predefined: dict | None = None) -> BatchReport:
+        """Analyze every program bundled under ``repro.workloads``."""
+        from ..workloads import available, source_path
+
+        return self.analyze_paths([source_path(n) for n in available()],
+                                  predefined=predefined)
+
+    # -- the engine --------------------------------------------------------------
+    def analyze_items(self, items, predefined: dict | None = None) -> BatchReport:
+        t0 = time.perf_counter()
+        stats0 = self.cache.stats() if self.cache is not None else {}
+        predefined = dict(predefined or {})
+        items = list(items)
+        results: dict[int, BatchResult] = {}
+
+        # Identical work items (same fingerprint) are analyzed once and the
+        # payload fanned out to every slot that asked for it.
+        arch_json = self.arch.to_json()
+        pending: list[tuple[int, BatchItem, str]] = []
+        specs: dict[str, dict] = {}   # fingerprint -> spec, first-seen order
+        for i, item in enumerate(items):
+            key = self._mira.fingerprint(item.source, filename=item.filename,
+                                         predefined=predefined)
+            if self.cache is not None and key not in specs:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    results[i] = _result_from_payload(item, key, payload,
+                                                      from_cache=True)
+                    continue
+            pending.append((i, item, key))
+            if key not in specs:
+                specs[key] = {
+                    "name": item.name,
+                    "source": item.source,
+                    "filename": item.filename,
+                    "arch_json": arch_json,
+                    "opt_level": self.opt_level,
+                    "branch_ratio": self.default_branch_ratio,
+                    "predefined": predefined,
+                }
+
+        jobs = max(1, min(self.jobs, len(specs) or 1))
+        payloads = dict(zip(specs, self._run(jobs, list(specs.values()))))
+        if self.cache is not None:
+            for key, payload in payloads.items():
+                if payload.get("ok"):
+                    self.cache.put(key, payload)
+        for i, item, key in pending:
+            results[i] = _result_from_payload(item, key, payloads[key],
+                                              from_cache=False)
+
+        cache_stats = {}
+        if self.cache is not None:
+            # per-run deltas: the cache object outlives individual batches
+            s1 = self.cache.stats()
+            cache_stats = {k: s1[k] - stats0[k]
+                           for k in ("hits", "misses", "stores")}
+            cache_stats["dir"] = s1["dir"]
+        return BatchReport(
+            results=[results[i] for i in sorted(results)],
+            elapsed=time.perf_counter() - t0,
+            jobs=jobs,
+            cache_stats=cache_stats)
+
+    def _run(self, jobs: int, specs: list) -> list:
+        """Run the worker over every spec, in-process or across a pool."""
+        if not specs:
+            return []
+        if jobs <= 1:
+            return [_analyze_one(spec) for spec in specs]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with _child_importable(), \
+                    ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(_analyze_one, specs))
+        except Exception:
+            # Pools can be unavailable (no /dev/shm, restricted sandboxes);
+            # batch semantics must survive, so degrade to serial.
+            return [_analyze_one(spec) for spec in specs]

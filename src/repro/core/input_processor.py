@@ -8,6 +8,8 @@ the line-number bridge between the two.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from ..binary import AsmProgram, disassemble
@@ -15,7 +17,39 @@ from ..bridge import FunctionBridge, build_bridge
 from ..compiler import ArchDescription, ObjectFile, compile_tu, default_arch
 from ..frontend import TranslationUnit, parse_file, parse_source
 
-__all__ = ["ProcessedInput", "InputProcessor"]
+__all__ = ["ProcessedInput", "InputProcessor", "source_fingerprint"]
+
+# Bump when the pipeline's observable output changes shape, so stale
+# on-disk model caches self-invalidate instead of replaying old results.
+PIPELINE_VERSION = 1
+
+
+def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,
+                       predefined: dict | None = None,
+                       filename: str = "<input>",
+                       branch_ratio: float = 0.5) -> str:
+    """Content-addressed identity of one analysis.
+
+    Two analyses share a fingerprint iff they are guaranteed to produce the
+    same model: same source bytes, same architecture description, same
+    optimization level, same predefines, same default branch ratio (it
+    scales non-analyzable branch terms), and the same filename (which the
+    generated model module embeds in its header).
+    """
+    material = json.dumps(
+        {
+            "version": PIPELINE_VERSION,
+            "source_sha256": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "arch": arch.fingerprint(),
+            "opt_level": opt_level,
+            "predefined": sorted((str(k), str(v))
+                                 for k, v in (predefined or {}).items()),
+            "filename": filename,
+            "branch_ratio": str(branch_ratio),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 @dataclass

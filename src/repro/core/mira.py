@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 
 from ..compiler.arch import ArchDescription, default_arch
 from ..errors import ModelError
-from .input_processor import InputProcessor, ProcessedInput
+from .input_processor import (InputProcessor, ProcessedInput,
+                              source_fingerprint)
 from .metric_generator import (FunctionModel, GeneratorOptions,
                                MetricGenerator)
 from .model_generator import (compile_model, evaluate_model,
@@ -120,6 +121,16 @@ class Mira:
         processed = InputProcessor(self.arch, self.opt_level).process_file(
             path, predefined=predefined)
         return self._finish(processed)
+
+    def fingerprint(self, source: str, filename: str = "<input>",
+                    predefined: dict | None = None) -> str:
+        """Content-addressed key identifying ``analyze(source, ...)`` under
+        this instance's architecture, optimization level, and generator
+        options.  The batch engine's on-disk model cache is keyed on this."""
+        return source_fingerprint(
+            source, self.arch, self.opt_level, predefined=predefined,
+            filename=filename,
+            branch_ratio=self.gen_options.default_branch_ratio)
 
     def _finish(self, processed: ProcessedInput) -> MiraModel:
         gen = MetricGenerator(processed.tu, processed.bridges, self.arch,

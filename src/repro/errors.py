@@ -64,3 +64,17 @@ class ModelError(MiraError):
 
 class InterpError(MiraError):
     """Raised by the dynamic-execution substrate (runtime faults)."""
+
+
+class BatchError(MiraError):
+    """Raised by the batch corpus-analysis engine.
+
+    Per-file analysis failures never abort a batch; they are captured as
+    :class:`BatchError` values on the failing file's ``BatchResult``, keeping
+    the original error class name and message (workers run in separate
+    processes, so the original exception object cannot always cross back).
+    """
+
+    def __init__(self, message: str, error_type: str = "MiraError") -> None:
+        super().__init__(message)
+        self.error_type = error_type

@@ -50,6 +50,11 @@ def _floor_fraction(x: Fraction) -> int:
     return x.numerator // x.denominator
 
 
+def _ceil_fraction(x: Fraction) -> int:
+    """Exact ceiling of a rational number."""
+    return -((-x.numerator) // x.denominator)
+
+
 class Expr:
     """Base class for all symbolic expressions.
 
@@ -125,7 +130,18 @@ class Expr:
     def __eq__(self, other: object) -> bool:  # pragma: no cover - per subclass
         raise NotImplementedError
 
-    def __hash__(self) -> int:  # pragma: no cover - per subclass
+    def __hash__(self) -> int:
+        # Structural hashing of deep n-ary trees is a hot path in
+        # canonicalization (arg dedup in Min/Max, poly monomial keys), so the
+        # hash is computed once and cached in the `_hash` slot.
+        try:
+            return self._hash
+        except AttributeError:
+            h = self._structural_hash()
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def _structural_hash(self) -> int:  # pragma: no cover - per subclass
         raise NotImplementedError
 
 
@@ -163,7 +179,9 @@ class Int(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Int) and self.value == other.value
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash(("Int", self.value))
 
 
@@ -202,7 +220,9 @@ class Sym(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Sym) and self.name == other.name
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash(("Sym", self.name))
 
 
@@ -230,7 +250,9 @@ class _NAry(Expr):
     def __eq__(self, other: object) -> bool:
         return type(other) is type(self) and self.args == other.args
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash((type(self).__name__, self.args))
 
 
@@ -340,11 +362,11 @@ class Mul(_NAry):
         return Mul.make(tuple(a.subs(mapping) for a in self.args))
 
     def evaluate(self, env: Mapping[str, Number] | None = None) -> Fraction:
+        # No zero short-circuit: every factor must evaluate, so an unbound
+        # symbol raises exactly as it would in the unfactored expression.
         total = Fraction(1)
         for a in self.args:
             total *= a.evaluate(env)
-            if total == 0:
-                return total
         return total
 
 
@@ -393,7 +415,9 @@ class Pow(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Pow) and self.base == other.base and self.exp == other.exp
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash(("Pow", self.base, self.exp))
 
 
@@ -442,7 +466,9 @@ class FloorDiv(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, FloorDiv) and self.num == other.num and self.den == other.den
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash(("FloorDiv", self.num, self.den))
 
 
@@ -504,7 +530,9 @@ class _MinMax(Expr):
     def __eq__(self, other: object) -> bool:
         return type(other) is type(self) and self.args == other.args
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash((type(self).__name__, self.args))
 
 
@@ -550,11 +578,12 @@ class Sum(Expr):
         if isinstance(lo, Int) and isinstance(hi, Int) and not (
             body.free_symbols() - {var}
         ):
-            # Fully concrete: fold immediately.
+            # Fully concrete: fold immediately.  The first integer index is
+            # ceil(lo) — identical to `Sum.evaluate`, so folding and lazy
+            # evaluation agree on fractional lower bounds.
             total = Fraction(0)
-            i = _floor_fraction(lo.value) if lo.value.denominator != 1 else lo.value.numerator
+            k = _ceil_fraction(lo.value)
             hi_i = hi.value
-            k = i
             while Fraction(k) <= hi_i:
                 total += body.evaluate({var: k})
                 k += 1
@@ -578,9 +607,7 @@ class Sum(Expr):
         env = dict(env or {})
         lo = self.lo.evaluate(env)
         hi = self.hi.evaluate(env)
-        k = _floor_fraction(lo) if lo.denominator != 1 else lo.numerator
-        if Fraction(k) < lo:
-            k += 1
+        k = _ceil_fraction(lo)
         total = Fraction(0)
         while Fraction(k) <= hi:
             env[self.var] = k
@@ -600,7 +627,9 @@ class Sum(Expr):
             and self.hi == other.hi
         )
 
-    def __hash__(self) -> int:
+    __hash__ = Expr.__hash__
+
+    def _structural_hash(self) -> int:
         return hash(("Sum", self.body, self.var, self.lo, self.hi))
 
 

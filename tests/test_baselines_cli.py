@@ -162,6 +162,22 @@ class TestCLI:
             cli_main(["eval", source_path("dgemm"), "dgemm_kernel",
                       "--arch", "no-such-machine"])
 
+    def test_eval_binding_missing_equals(self):
+        # a malformed binding must exit cleanly, not dump a ValueError
+        with pytest.raises(SystemExit, match="expected param=value"):
+            cli_main(["eval", source_path("dgemm"), "dgemm_kernel",
+                      "n16", "-D", "DGEMM_N=8"])
+
+    def test_eval_binding_non_integer_value(self):
+        with pytest.raises(SystemExit, match="must be an integer"):
+            cli_main(["eval", source_path("dgemm"), "dgemm_kernel",
+                      "n=lots", "-D", "DGEMM_N=8"])
+
+    def test_eval_binding_empty_name(self):
+        with pytest.raises(SystemExit, match="expected param=value"):
+            cli_main(["eval", source_path("dgemm"), "dgemm_kernel",
+                      "=4", "-D", "DGEMM_N=8"])
+
     def test_opt_flag(self, capsys):
         rc = cli_main(["disasm", source_path("dgemm"), "--opt", "0",
                        "-D", "DGEMM_N=4"])

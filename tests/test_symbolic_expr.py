@@ -122,6 +122,24 @@ class TestArithmetic:
         assert (1 - x).evaluate({"x": 2}) == -1
         assert (3 * x).evaluate({"x": 2}) == 6
 
+    def test_mul_zero_factor_still_surfaces_unbound_symbol(self):
+        # Regression: a zero factor used to short-circuit evaluation,
+        # silently masking unbound symbols in the remaining factors.  The
+        # node is built directly because Mul.make folds the zero away.
+        e = Mul((Int(0), Sym("u")))
+        with pytest.raises(SymbolicError, match="unbound symbol 'u'"):
+            e.evaluate({})
+        assert e.evaluate({"u": 7}) == 0
+
+    def test_structural_hash_cached_and_consistent(self):
+        e1 = (Sym("x") + 1) * Sym("y")
+        e2 = (Sym("x") + 1) * Sym("y")
+        h = hash(e1)
+        # cached in the _hash slot after the first computation
+        assert object.__getattribute__(e1, "_hash") == h
+        assert hash(e1) == h == hash(e2)
+        assert e1 == e2
+
 
 class TestFloorDiv:
     def test_concrete_fold(self):
@@ -203,6 +221,22 @@ class TestSum:
     def test_empty_at_evaluation(self):
         e = Sum.make(Sym("i"), "i", Int(0), Sym("n"))
         assert e.evaluate({"n": -5}) == 0
+
+    def test_fractional_lower_bound_fold_matches_evaluate(self):
+        # Regression: the concrete fold used to floor a fractional lower
+        # bound (starting at k=0 for lo=1/2) while lazy evaluation ceils it
+        # (k=1).  Both must ceil: Sum(1, k, 1/2, 3) == 3.
+        folded = Sum.make(Int(1), "k", Int(Fraction(1, 2)), Int(3))
+        lazy = Sum(Int(1), "k", Int(Fraction(1, 2)), Int(3))
+        assert folded == Int(3)
+        assert lazy.evaluate({}) == 3
+        assert folded.evaluate({}) == lazy.evaluate({})
+
+    def test_fractional_bound_fold_matches_evaluate_general(self):
+        for lo in (Fraction(-3, 2), Fraction(1, 3), Fraction(5, 2)):
+            folded = Sum.make(Sym("k"), "k", Int(lo), Int(4))
+            lazy = Sum(Sym("k"), "k", Int(lo), Int(4))
+            assert folded.evaluate({}) == lazy.evaluate({})
 
 
 class TestAsExpr:
