@@ -18,15 +18,16 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.core import BatchAnalyzer, BatchReport, Mira, MiraModel
+from repro.core import (AnalysisConfig, AnalysisResult, BatchAnalyzer,
+                        BatchReport, Pipeline)
 from repro.dynamic import TauProfiler, TauReport
 from repro.workloads import get_source, source_path
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
-# Process-wide model memo keyed by the batch engine's content-addressed
+# Process-wide model memo keyed by the config's content-addressed
 # fingerprint: benches sharing a workload/defines/opt-level build it once.
-_MODEL_MEMO: dict[str, MiraModel] = {}
+_MODEL_MEMO: dict[str, AnalysisResult] = {}
 
 
 def save_table(name: str, text: str) -> None:
@@ -39,14 +40,14 @@ def save_table(name: str, text: str) -> None:
 
 
 def analyze_workload(name: str, defines: dict[str, int] | None = None,
-                     opt_level: int = 2) -> MiraModel:
+                     opt_level: int = 2) -> AnalysisResult:
     defs = {k: str(v) for k, v in (defines or {}).items()}
-    mira = Mira(opt_level=opt_level)
+    config = AnalysisConfig(opt_level=opt_level, predefined=defs)
     source = get_source(name)
-    key = mira.fingerprint(source, filename=name, predefined=defs)
+    key = config.fingerprint(source, filename=name)
     model = _MODEL_MEMO.get(key)
     if model is None:
-        model = mira.analyze(source, filename=name, predefined=defs)
+        model = Pipeline(config).run(source, filename=name)
         _MODEL_MEMO[key] = model
     return model
 
@@ -61,14 +62,15 @@ def batch_corpus(names: list[str] | None = None, jobs: int | None = None,
     """
     if use_cache is None:
         use_cache = cache_dir is not None
-    analyzer = BatchAnalyzer(opt_level=opt_level, jobs=jobs,
-                             cache_dir=cache_dir, use_cache=use_cache)
+    config = AnalysisConfig(opt_level=opt_level, cache_dir=cache_dir,
+                            use_cache=use_cache)
+    analyzer = BatchAnalyzer(config, jobs=jobs)
     if names is None:
         return analyzer.analyze_corpus()
     return analyzer.analyze_paths([source_path(n) for n in names])
 
 
-def profile_workload(model: MiraModel, entry: str = "main") -> TauReport:
+def profile_workload(model: AnalysisResult, entry: str = "main") -> TauReport:
     return TauProfiler(model.processed).profile(entry)
 
 
@@ -111,7 +113,7 @@ def rows_to_text(title: str, header: list[str], rows: list[list],
     return "\n".join(lines)
 
 
-def minife_env(model: MiraModel, fn: str, nx: int, max_iter: int,
+def minife_env(model: AnalysisResult, fn: str, nx: int, max_iter: int,
                row_nnz: int) -> dict:
     """Parameter bindings for miniFE models, including the call-site
     parameters bubbled up from annotations (the paper's ``y_16``)."""

@@ -18,7 +18,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
-from repro import Mira
+from repro import AnalysisConfig, Pipeline
 
 ANNOTATED = """
 int a9[32];
@@ -62,10 +62,10 @@ void unrescued(int n)
 
 
 def main() -> None:
-    mira = Mira()
+    pipeline = Pipeline(AnalysisConfig())
 
     print("== with annotations ==")
-    model = mira.analyze(ANNOTATED)
+    model = pipeline.run(ANNOTATED)
     print("parameters:", model.parameters("rescued"))
     m = model.evaluate("rescued", {"n": 10, "x": 0, "y": 4})
     print("counts at n=10, j in [0,4]:")
@@ -74,7 +74,7 @@ def main() -> None:
     print("warnings:", model.warnings("rescued") or "(none)")
 
     print("\n== without annotations (automatic fallbacks + warnings) ==")
-    model2 = mira.analyze(BARE)
+    model2 = pipeline.run(BARE)
     print("parameters:", model2.parameters("unrescued"))
     for w in model2.warnings("unrescued"):
         print("  warning:", w)

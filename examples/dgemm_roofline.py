@@ -15,8 +15,8 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
-from repro import (Mira, PBoundAnalyzer, arithmetic_intensity,
-                   roofline_estimate)
+from repro import (AnalysisConfig, PBoundAnalyzer, Pipeline,
+                   arithmetic_intensity, roofline_estimate)
 from repro.workloads import get_source
 
 
@@ -27,8 +27,8 @@ def main() -> None:
     print(f"== DGEMM kernel (n={n}) across optimization levels ==")
     print(f"{'opt':>4} {'total':>12} {'FP':>10} {'AI':>7}  roofline")
     for opt in (0, 1, 2, 3):
-        model = Mira(opt_level=opt).analyze(get_source("dgemm"),
-                                            predefined=defines)
+        cfg = AnalysisConfig(opt_level=opt, predefined=defines)
+        model = Pipeline(cfg).run(get_source("dgemm"), filename="dgemm")
         m = model.evaluate("dgemm_kernel", {"n": n})
         ai = arithmetic_intensity(m, model.arch)
         est = roofline_estimate(m, model.arch)
@@ -36,7 +36,8 @@ def main() -> None:
         print(f"  O{opt} {m.total():>12,} {fp:>10,} {ai:>7.3f}  {est.bound}")
 
     print("\n== source-only baseline (PBound) vs Mira at -O2 ==")
-    model = Mira(opt_level=2).analyze(get_source("dgemm"), predefined=defines)
+    model = Pipeline(AnalysisConfig(opt_level=2, predefined=defines)).run(
+        get_source("dgemm"), filename="dgemm")
     pb = PBoundAnalyzer(model.processed.tu)
     pbc = pb.analyze_function("dgemm_kernel").evaluate({"n": n})
     m = model.evaluate("dgemm_kernel", {"n": n}).as_dict()

@@ -17,7 +17,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
-from repro import Mira, TauProfiler
+from repro import AnalysisConfig, Pipeline, TauProfiler
 from repro.workloads import get_source
 
 
@@ -28,9 +28,9 @@ def user_row_nnz(nx: int) -> int:
 
 def main() -> None:
     nx, iters = 10, 25
-    model = Mira().analyze(
-        get_source("minife"),
+    config = AnalysisConfig(
         predefined={"NX": str(nx), "CG_MAX_ITER": str(iters)})
+    model = Pipeline(config).run(get_source("minife"), filename="minife")
 
     print("== model parameters (note the bubbled call-site names) ==")
     for fn in ("waxpby", "dot_prod", "matvec_std::operator()", "cg_solve"):
@@ -64,8 +64,8 @@ def main() -> None:
         print(f"{fn:<26} {tau_fp:>12,} {mira_fp:>12,} {err:>7.2f}%")
 
     print("\n== paper-scale prediction (30^3 grid, 200 iterations) ==")
-    big = Mira().analyze(get_source("minife"),
-                         predefined={"NX": "30", "CG_MAX_ITER": "200"})
+    big_cfg = AnalysisConfig(predefined={"NX": "30", "CG_MAX_ITER": "200"})
+    big = Pipeline(big_cfg).run(get_source("minife"), filename="minife")
     env30 = {}
     for p in big.parameters("cg_solve"):
         if p.startswith("nrows"):

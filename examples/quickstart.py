@@ -1,9 +1,11 @@
 """Quickstart: analyze a kernel statically, no execution required.
 
-Runs the full Mira pipeline (parse -> compile -> disassemble -> bridge ->
-polyhedral modeling -> Python model) on a small AXPY-like kernel, prints the
-categorized instruction counts for several input sizes, and shows the
-generated Python model the paper's Figure 5 describes.
+Runs the full pipeline (parse -> compile -> disassemble -> bridge -> model)
+on a small AXPY-like kernel through the unified API: one
+``AnalysisConfig``, one staged ``Pipeline``, one serializable
+``AnalysisResult``.  Prints the categorized instruction counts for several
+input sizes, the per-stage wall times, and the generated Python model the
+paper's Figure 5 describes.
 
 Run:  python examples/quickstart.py
 """
@@ -14,7 +16,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "src"))
 
-from repro import Mira
+from repro import AnalysisConfig, AnalysisResult, Pipeline
 
 SOURCE = """
 double x[1000000];
@@ -35,8 +37,8 @@ int main()
 
 
 def main() -> None:
-    mira = Mira()                       # default arch, -O2
-    model = mira.analyze(SOURCE)
+    config = AnalysisConfig()           # default arch, -O2
+    model = Pipeline(config).run(SOURCE)
 
     print("== parametric model of axpy ==")
     print("parameters:", model.parameters("axpy"))
@@ -46,9 +48,21 @@ def main() -> None:
         print(f"  n={n:>11,}: {metrics.total():>13,} instructions, "
               f"{fp:>11,} FP")
 
+    print("\n== per-stage wall time (paper Fig. 1 stages) ==")
+    for stage, secs in model.stage_timings.items():
+        print(f"  {stage:<12} {secs * 1000:>8.2f}ms")
+
     print("\n== categorized counts at n=10000 (paper Table II format) ==")
     for cat, count in model.categorized_counts("axpy", {"n": 10000}).items():
         print(f"  {count:>8}  {cat}")
+
+    print("\n== the result serializes; a restored copy evaluates equal ==")
+    wire = model.to_json()
+    restored = AnalysisResult.from_json(wire)
+    assert restored.evaluate("axpy", {"n": 512}).as_dict() == \
+        model.evaluate("axpy", {"n": 512}).as_dict()
+    print(f"  round-trip OK ({len(wire):,} JSON bytes, "
+          "no recompilation needed)")
 
     print("\n== the generated Python model (paper Fig. 5) ==")
     print(model.python_source())

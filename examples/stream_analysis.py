@@ -16,13 +16,13 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 import time
 
-from repro import Mira, TauProfiler
+from repro import AnalysisConfig, Pipeline, TauProfiler
 from repro.workloads import get_source
 
 
 def analyze(n: int):
-    return Mira().analyze(get_source("stream"),
-                          predefined={"STREAM_ARRAY_SIZE": str(n)})
+    config = AnalysisConfig(predefined={"STREAM_ARRAY_SIZE": str(n)})
+    return Pipeline(config).run(get_source("stream"), filename="stream")
 
 
 def main() -> None:

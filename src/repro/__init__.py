@@ -10,30 +10,36 @@ execution/profiling substrate standing in for TAU/PAPI validation runs.
 
 Quick start::
 
-    from repro import Mira
+    from repro import AnalysisConfig, Pipeline
 
-    model = Mira().analyze(open("kernel.c").read())
-    print(model.evaluate("main").as_dict())       # categorized counts
-    print(model.python_source())                  # the generated model
+    result = Pipeline(AnalysisConfig()).run(open("kernel.c").read())
+    print(result.evaluate("main").as_dict())      # categorized counts
+    print(result.stage_timings)                   # per-stage wall time
+    print(result.to_json())                       # versioned wire format
+
+(the historical ``Mira().analyze(...)`` facade still works and now returns
+the same :class:`AnalysisResult`.)
 """
 
 from .baselines.pbound import PBoundAnalyzer, PBoundCounts
 from .compiler.arch import ArchDescription, default_arch, load_arch
 from .core import (
-    BatchAnalyzer, BatchReport, Metrics, Mira, MiraModel, ModelCache,
+    AnalysisConfig, AnalysisResult, BatchAnalyzer, BatchReport, Metrics,
+    Mira, MiraModel, ModelCache, Pipeline, PipelineState, StageEvent,
     arithmetic_intensity, instruction_distribution, loop_coverage_source,
     roofline_estimate,
 )
 from .dynamic import TauProfiler, TauReport
-from .errors import BatchError, MiraError
+from .errors import BatchError, MiraError, PipelineError, SchemaError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "ArchDescription", "BatchAnalyzer", "BatchError", "BatchReport",
-    "Metrics", "Mira", "MiraError", "MiraModel", "ModelCache",
-    "PBoundAnalyzer", "PBoundCounts", "TauProfiler", "TauReport",
-    "__version__", "arithmetic_intensity", "default_arch",
-    "instruction_distribution", "load_arch", "loop_coverage_source",
-    "roofline_estimate",
+    "AnalysisConfig", "AnalysisResult", "ArchDescription", "BatchAnalyzer",
+    "BatchError", "BatchReport", "Metrics", "Mira", "MiraError", "MiraModel",
+    "ModelCache", "PBoundAnalyzer", "PBoundCounts", "Pipeline",
+    "PipelineError", "PipelineState", "SchemaError", "StageEvent",
+    "TauProfiler", "TauReport", "__version__", "arithmetic_intensity",
+    "default_arch", "instruction_distribution", "load_arch",
+    "loop_coverage_source", "roofline_estimate",
 ]

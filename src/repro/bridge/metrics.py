@@ -39,6 +39,21 @@ class CategoryVector:
     def zero() -> "CategoryVector":
         return CategoryVector()
 
+    @staticmethod
+    def from_dict(d: dict) -> "CategoryVector":
+        """Inverse of :meth:`as_dict` (serialized-model restoration)."""
+        from ..errors import SchemaError
+
+        v = CategoryVector()
+        for cat, n in d.items():
+            try:
+                v.counts[_CAT_INDEX[cat]] = int(n)
+            except KeyError:
+                raise SchemaError(
+                    f"unknown instruction category {cat!r} in serialized "
+                    "vector") from None
+        return v
+
     def copy(self) -> "CategoryVector":
         return CategoryVector(self.counts.copy())
 

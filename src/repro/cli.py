@@ -1,11 +1,20 @@
 """Command-line interface: the ``mira`` tool.
 
+Every analysis subcommand shares the same configuration surface (``--opt``,
+``--arch``, ``-D/--define``) — internally one
+:class:`~repro.core.config.AnalysisConfig` — and a ``--json`` flag that
+switches the output to a schema-versioned machine-readable document.
+
 Subcommands::
 
-    mira analyze FILE [-o model.py] [--opt N] [--arch arya|frankenstein|FILE]
-        run the full pipeline, write/print the generated Python model
+    mira analyze FILE [-o model.py] [--json]
+        run the full pipeline; write/print the generated Python model, or
+        emit the versioned AnalysisResult JSON with --json
     mira eval FILE FUNCTION [k=v ...]
         analyze and evaluate one function's model with parameter bindings
+    mira inspect FILE --stage STAGE
+        run the pipeline only up to STAGE (parse | compile | disassemble |
+        bridge | model) and report what that stage produced + wall times
     mira batch [FILE ...] [--corpus] [--jobs N] [--cache-dir D] [--no-cache]
         analyze a whole corpus in parallel with model caching
     mira disasm FILE
@@ -16,20 +25,35 @@ Subcommands::
         run under the dynamic substrate (TAU analog), print category counts
     mira arch-template
         print a JSON architecture description template to customize
+
+``--arch`` accepts the presets ``arya`` (Haswell-like), ``frankenstein``
+(Nehalem-like), and ``generic`` (single-socket default), or a path to a
+JSON architecture description file (see ``mira arch-template``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
 from .binary import disassemble, format_listing
 from .compiler.arch import default_arch, load_arch
-from .core import Mira, loop_coverage_source
+from .core import (AnalysisConfig, Pipeline, loop_coverage,
+                   loop_coverage_source)
+from .core.pipeline import STAGES
+from .core.result import RESULT_SCHEMA_VERSION
 from .dynamic import TauProfiler
 
 __all__ = ["main"]
+
+#: Schema version stamped on every ``--json`` document the CLI emits.  The
+#: AnalysisResult wire format is the anchor; the other documents version in
+#: lockstep so consumers check one number.
+JSON_SCHEMA_VERSION = RESULT_SCHEMA_VERSION
+
+ARCH_HELP = "arya | frankenstein | generic | path to arch JSON"
 
 
 def _arch_from_flag(value: str | None):
@@ -58,26 +82,43 @@ def _parse_defines(items: list[str]) -> dict:
     return out
 
 
+def _config_from_args(args) -> AnalysisConfig:
+    """The one place CLI flags become an AnalysisConfig."""
+    return AnalysisConfig(arch=_arch_from_flag(args.arch),
+                          opt_level=args.opt,
+                          predefined=_parse_defines(args.define))
+
+
+def _emit_json(doc: dict) -> int:
+    doc.setdefault("schema_version", JSON_SCHEMA_VERSION)
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def cmd_analyze(args) -> int:
-    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
-    model = mira.analyze_file(args.file,
-                              predefined=_parse_defines(args.define))
-    text = model.python_source()
+    result = Pipeline(_config_from_args(args)).run_file(args.file)
+    if args.json:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(result.to_json())
+            print(f"result written to {args.output}")
+        else:
+            print(result.to_json())
+        return 0
+    text = result.python_source()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"model written to {args.output}")
     else:
         print(text)
-    for w in model.warnings():
+    for w in result.warnings():
         print(f"warning: {w}", file=sys.stderr)
     return 0
 
 
 def cmd_eval(args) -> int:
-    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
-    model = mira.analyze_file(args.file,
-                              predefined=_parse_defines(args.define))
+    result = Pipeline(_config_from_args(args)).run_file(args.file)
     env = {}
     for b in args.bindings:
         k, sep, v = b.partition("=")
@@ -90,32 +131,94 @@ def cmd_eval(args) -> int:
             raise SystemExit(
                 f"mira eval: bad binding {b!r} "
                 f"(value must be an integer, got {v!r})") from None
-    metrics = model.evaluate(args.function, env)
+    metrics = result.evaluate(args.function, env)
+    fp = metrics.fp_instructions(result.arch.fp_arith_categories)
+    if args.json:
+        return _emit_json({
+            "kind": "Evaluation",
+            "file": args.file,
+            "function": args.function,
+            "bindings": env,
+            "counts": metrics.as_dict(),
+            "total": metrics.total(),
+            "fp_ins": fp,
+        })
     print(f"# {args.function} with {env}")
     for cat, n in sorted(metrics.as_dict().items(), key=lambda kv: -kv[1]):
         print(f"{n:>16}  {cat}")
     print(f"{metrics.total():>16}  TOTAL")
-    fp = metrics.fp_instructions(model.arch.fp_arith_categories)
     print(f"{fp:>16}  FP_INS")
+    return 0
+
+
+def _inspect_artifacts(state) -> dict:
+    """Stage-specific summary of what a partial pipeline run produced."""
+    out: dict = {}
+    if state.tu is not None:
+        fns = [f.qualified_name for f in state.tu.all_functions()
+               if not f.info.get("prototype_only")]
+        cov = loop_coverage(state.tu)
+        out["parse"] = {"functions": fns, "loops": cov.loops,
+                        "statements": cov.statements}
+    if state.obj is not None:
+        out["compile"] = {"text_bytes": len(state.obj.text),
+                          "rodata_bytes": len(state.obj.rodata),
+                          "symbols": len(state.obj.symbols)}
+    if state.program is not None:
+        out["disassemble"] = {
+            "functions": {f.name: len(f.instructions)
+                          for f in state.program.functions}}
+    if state.bridges is not None:
+        out["bridge"] = {
+            "cost_centers": {q: len(b.centers)
+                             for q, b in state.bridges.items()}}
+    if state.result is not None:
+        out["model"] = {
+            "functions": {q: {"params": list(m.params),
+                              "warnings": len(m.warnings)}
+                          for q, m in state.result.models.items()}}
+    return out
+
+
+def cmd_inspect(args) -> int:
+    state = Pipeline(_config_from_args(args)).run_file_until(
+        args.stage, args.file)
+    artifacts = _inspect_artifacts(state)
+    if args.json:
+        return _emit_json({
+            "kind": "PipelineInspection",
+            "file": args.file,
+            "stage": args.stage,
+            "stage_timings": {k: round(v, 6)
+                              for k, v in state.timings.items()},
+            "artifacts": artifacts,
+        })
+    print(f"# pipeline of {args.file}, stopped after stage {args.stage!r}")
+    for name in STAGES:
+        if name not in state.timings:
+            print(f"{name:<12} (not run)")
+            continue
+        print(f"{name:<12} {state.timings[name] * 1000:>8.2f}ms")
+        detail = artifacts.get(name)
+        if detail:
+            for k, v in detail.items():
+                print(f"  {k}: {v}")
     return 0
 
 
 def cmd_batch(args) -> int:
     from .core.batch import BatchAnalyzer
 
-    analyzer = BatchAnalyzer(arch=_arch_from_flag(args.arch),
-                             opt_level=args.opt,
-                             jobs=args.jobs,
-                             cache_dir=args.cache_dir,
-                             use_cache=not args.no_cache)
-    predefined = _parse_defines(args.define)
+    config = _config_from_args(args).with_changes(
+        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    analyzer = BatchAnalyzer(config, jobs=args.jobs)
     paths = list(args.files)
     if args.corpus or not paths:
         # --corpus, or no files at all → the bundled 15-program corpus.
         from .workloads import available, source_path
 
         paths.extend(source_path(n) for n in available())
-    report = analyzer.analyze_paths(paths, predefined=predefined)
+    report = analyzer.analyze_paths(paths)
     if args.json:
         print(report.to_json())
     else:
@@ -127,31 +230,60 @@ def cmd_batch(args) -> int:
 
 
 def cmd_disasm(args) -> int:
-    from .compiler import compile_tu
-    from .frontend import parse_file
-
-    tu = parse_file(args.file, predefined=_parse_defines(args.define))
-    obj = compile_tu(tu, opt_level=args.opt)
-    print(format_listing(disassemble(obj.to_bytes())))
+    # Through the pipeline, so the selected architecture is threaded into
+    # the run instead of silently dropped (config carries it end to end).
+    state = Pipeline(_config_from_args(args)).run_file_until(
+        "disassemble", args.file)
+    listing = format_listing(state.program)
+    if args.json:
+        return _emit_json({
+            "kind": "Disassembly",
+            "file": args.file,
+            "arch": state.config.arch.name,
+            "functions": {f.name: len(f.instructions)
+                          for f in state.program.functions},
+            "listing": listing,
+        })
+    print(listing)
     return 0
 
 
 def cmd_coverage(args) -> int:
+    predefined = _parse_defines(args.define)
+    reports = [loop_coverage_source(_read(path),
+                                    os.path.basename(path).rsplit(".", 1)[0],
+                                    predefined=predefined)
+               for path in args.files]
+    if args.json:
+        return _emit_json({
+            "kind": "CoverageReport",
+            "files": [{"name": rep.name, "loops": rep.loops,
+                       "statements": rep.statements,
+                       "in_loop_statements": rep.in_loop_statements,
+                       "percentage": round(rep.percentage, 2)}
+                      for rep in reports],
+        })
     print(f"{'Application':<14}{'Loops':>7}{'Stmts':>8}{'InLoop':>8}{'Pct':>6}")
-    for path in args.files:
-        rep = loop_coverage_source(_read(path),
-                                   os.path.basename(path).rsplit(".", 1)[0])
+    for rep in reports:
         print(f"{rep.name:<14}{rep.loops:>7}{rep.statements:>8}"
               f"{rep.in_loop_statements:>8}{rep.percentage:>5.0f}%")
     return 0
 
 
 def cmd_profile(args) -> int:
-    mira = Mira(arch=_arch_from_flag(args.arch), opt_level=args.opt)
-    model = mira.analyze_file(args.file,
-                              predefined=_parse_defines(args.define))
-    report = TauProfiler(model.processed).profile(args.entry)
+    result = Pipeline(_config_from_args(args)).run_file(args.file)
+    report = TauProfiler(result.processed).profile(args.entry)
     prof = report.function(args.entry)
+    if args.json:
+        return _emit_json({
+            "kind": "DynamicProfile",
+            "file": args.file,
+            "entry": args.entry,
+            "calls": prof.calls,
+            "categories": dict(prof.categories),
+            "total": sum(prof.categories.values()),
+            "fp_ins": report.fp_ins(args.entry),
+        })
     print(f"# dynamic profile of {args.entry} ({prof.calls} call(s))")
     for cat, n in sorted(prof.categories.items(), key=lambda kv: -kv[1]):
         print(f"{n:>16}  {cat}")
@@ -172,13 +304,16 @@ def main(argv: list[str] | None = None) -> int:
                     "(CLUSTER'17 reproduction)")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
-    def common(p):
-        p.add_argument("--opt", type=int, default=2,
-                       help="optimization level 0-3 (default 2)")
-        p.add_argument("--arch", default=None,
-                       help="arya | frankenstein | path to arch JSON")
+    def common(p, defines_only: bool = False):
         p.add_argument("-D", "--define", action="append", default=[],
                        metavar="NAME=VAL", help="predefine a macro")
+        p.add_argument("--json", action="store_true",
+                       help="emit a schema-versioned JSON document")
+        if defines_only:
+            return
+        p.add_argument("--opt", type=int, default=2,
+                       help="optimization level 0-3 (default 2)")
+        p.add_argument("--arch", default=None, help=ARCH_HELP)
 
     p = sub.add_parser("analyze", help="generate the Python model")
     p.add_argument("file")
@@ -193,6 +328,14 @@ def main(argv: list[str] | None = None) -> int:
     common(p)
     p.set_defaults(fn=cmd_eval)
 
+    p = sub.add_parser("inspect",
+                       help="run the pipeline partially and report stages")
+    p.add_argument("file")
+    p.add_argument("--stage", default="model", choices=STAGES,
+                   help="last pipeline stage to run (default: model)")
+    common(p)
+    p.set_defaults(fn=cmd_inspect)
+
     p = sub.add_parser("batch",
                        help="analyze many files in parallel with caching")
     p.add_argument("files", nargs="*", metavar="FILE",
@@ -206,8 +349,6 @@ def main(argv: list[str] | None = None) -> int:
                         "(default ~/.cache/mira/models)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk model cache")
-    p.add_argument("--json", action="store_true",
-                   help="emit the full report as JSON")
     common(p)
     p.set_defaults(fn=cmd_batch)
 
@@ -218,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("coverage", help="loop-coverage report (Table I)")
     p.add_argument("files", nargs="+")
+    common(p, defines_only=True)
     p.set_defaults(fn=cmd_coverage)
 
     p = sub.add_parser("profile", help="dynamic profile (TAU analog)")

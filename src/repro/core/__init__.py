@@ -1,14 +1,19 @@
-"""Mira proper: input processing, metric generation, model generation.
+"""Mira proper: the staged analysis pipeline and its products.
 
-The paper's three-stage workflow (Fig. 1): Input Processor → Metric
-Generator → Model Generator, plus derived-metric analysis and the
-loop-coverage survey tool.
+The paper's three-stage workflow (Fig. 1) is exposed as one coherent API:
+:class:`AnalysisConfig` (all knobs, frozen, serializable),
+:class:`Pipeline` (named stages ``parse → compile → disassemble → bridge →
+model`` with partial execution and observers), and :class:`AnalysisResult`
+(the versioned, serializable product).  ``Mira``/``MiraModel`` remain as a
+thin back-compat facade, plus derived-metric analysis, loop coverage, and
+the batch corpus engine.
 """
 
 from .analysis import (RooflineEstimate, arithmetic_intensity,
                        instruction_distribution, roofline_estimate)
 from .batch import (BatchAnalyzer, BatchItem, BatchReport, BatchResult,
                     FunctionSummary, ModelCache)
+from .config import CONFIG_SCHEMA_VERSION, AnalysisConfig
 from .coverage import CoverageReport, loop_coverage, loop_coverage_source
 from .input_processor import (InputProcessor, ProcessedInput,
                               source_fingerprint)
@@ -18,12 +23,16 @@ from .mira import Mira, MiraModel
 from .model_generator import (compile_model, evaluate_model,
                               generate_model_source, model_entry_name)
 from .model_runtime import Metrics, handle_function_call
+from .pipeline import STAGES, Pipeline, PipelineState, StageEvent
+from .result import RESULT_SCHEMA_VERSION, AnalysisResult
 
 __all__ = [
-    "BatchAnalyzer", "BatchItem", "BatchReport", "BatchResult", "CallTerm",
+    "AnalysisConfig", "AnalysisResult", "BatchAnalyzer", "BatchItem",
+    "BatchReport", "BatchResult", "CONFIG_SCHEMA_VERSION", "CallTerm",
     "CoverageReport", "FunctionModel", "FunctionSummary", "GeneratorOptions",
     "InputProcessor", "Metrics", "MetricGenerator", "MetricTerm", "Mira",
-    "MiraModel", "ModelCache", "ProcessedInput", "RooflineEstimate",
+    "MiraModel", "ModelCache", "Pipeline", "PipelineState", "ProcessedInput",
+    "RESULT_SCHEMA_VERSION", "RooflineEstimate", "STAGES", "StageEvent",
     "arithmetic_intensity", "compile_model", "evaluate_model",
     "generate_model_source", "handle_function_call",
     "instruction_distribution", "loop_coverage", "loop_coverage_source",

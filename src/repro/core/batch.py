@@ -2,22 +2,27 @@
 
 The paper's evaluation is corpus-scale (Table I surveys ten applications;
 Tables II-V re-analyze stream/dgemm/miniFE under several architectures and
-opt levels), but :class:`~repro.core.mira.Mira` analyzes one source per call
+opt levels), but the :class:`~repro.core.pipeline.Pipeline` analyzes one
+source per call
 and recomputes everything each time.  This module makes corpus-scale runs
 first-class:
 
 * :class:`BatchAnalyzer` fans a set of sources — file paths, in-memory
-  strings, or the whole bundled corpus — across a ``ProcessPoolExecutor``,
+  strings, or the whole bundled corpus — across a ``ProcessPoolExecutor``;
+  all analysis knobs come from one :class:`~repro.core.config.AnalysisConfig`
+  (serialized to worker processes as JSON),
 * a content-addressed on-disk :class:`ModelCache` keyed on
-  ``(source hash, arch fingerprint, opt level, predefines)`` makes repeat
-  analyses near-free,
+  :meth:`AnalysisConfig.fingerprint` makes repeat analyses near-free; the
+  cached payload carries the full serialized
+  :class:`~repro.core.result.AnalysisResult`, so warm hits reconstruct an
+  evaluable result **without invoking the compiler**,
 * one bad file never aborts the batch: per-file failures become
   :class:`BatchResult` entries carrying a :class:`~repro.errors.BatchError`,
 * :class:`BatchReport` aggregates per-function metrics, corpus-wide loop
   coverage, and cache-hit statistics.
 
 Cache layout: ``<cache_dir>/<key[:2]>/<key>.json`` — one JSON payload per
-analysis, where ``key`` is the :func:`source_fingerprint` of the analysis.
+analysis, where ``key`` is the config's fingerprint of the analysis.
 
 Typical use::
 
@@ -26,6 +31,7 @@ Typical use::
     report = BatchAnalyzer(jobs=4).analyze_corpus()
     print(report.format_table())
     assert not report.failed()
+    report["dgemm"].analysis.evaluate("dgemm_kernel", {"n": 64})
 """
 
 from __future__ import annotations
@@ -36,10 +42,12 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 
-from ..compiler.arch import ArchDescription, default_arch
+from ..compiler.arch import ArchDescription
 from ..errors import BatchError, MiraError
+from .config import AnalysisConfig
 from .coverage import loop_coverage
-from .mira import Mira
+from .pipeline import Pipeline
+from .result import RESULT_SCHEMA_VERSION, AnalysisResult
 
 __all__ = [
     "BatchAnalyzer", "BatchItem", "BatchReport", "BatchResult",
@@ -95,7 +103,12 @@ class FunctionSummary:
 
 @dataclass
 class BatchResult:
-    """The outcome for one file — success or isolated failure."""
+    """The outcome for one file — success or isolated failure.
+
+    ``analysis`` is the full (deserialized) :class:`AnalysisResult`: on a
+    cache hit it is reconstructed from the stored wire format, so the model
+    is evaluable without re-running the compiler.
+    """
 
     name: str
     filename: str
@@ -107,6 +120,7 @@ class BatchResult:
     coverage: dict = field(default_factory=dict)
     model_source: str = ""
     error: BatchError | None = None
+    analysis: AnalysisResult | None = None
 
     @property
     def status(self) -> str:
@@ -190,7 +204,9 @@ class BatchReport:
                 entry["error"] = {"type": r.error.error_type,
                                   "message": str(r.error)}
             files.append(entry)
-        doc = {"aggregate": self.aggregate(), "files": files}
+        doc = {"schema_version": RESULT_SCHEMA_VERSION,
+               "kind": "BatchReport",
+               "aggregate": self.aggregate(), "files": files}
         if self.cache_stats:
             doc["cache_stats"] = self.cache_stats
         return json.dumps(doc, indent=indent)
@@ -233,7 +249,7 @@ class BatchReport:
 class ModelCache:
     """Content-addressed JSON store of per-file analysis payloads.
 
-    Keys are :meth:`Mira.fingerprint` hex digests; a key names its payload
+    Keys are :meth:`AnalysisConfig.fingerprint` hex digests; a key names its payload
     forever, so entries are immutable and eviction is just file deletion.
     Writes are atomic (``os.replace`` of a temp file), which makes the cache
     safe under concurrent batch runs sharing a directory.
@@ -310,21 +326,20 @@ def _analyze_one(spec: dict) -> dict:
     """
     t0 = time.perf_counter()
     try:
-        arch = ArchDescription.from_json(spec["arch_json"])
-        mira = Mira(arch=arch, opt_level=spec["opt_level"],
-                    default_branch_ratio=spec["branch_ratio"])
-        model = mira.analyze(spec["source"], filename=spec["filename"],
-                             predefined=spec["predefined"])
+        config = AnalysisConfig.from_json(spec["config_json"])
+        result = Pipeline(config).run(spec["source"],
+                                      filename=spec["filename"])
         functions = {}
-        for qname, fm in model.function_models().items():
-            params = model.parameters(qname)
+        for qname, fm in result.function_models().items():
+            params = result.parameters(qname)
             counts = total = fp = None
             if not params:
                 try:
-                    metrics = model.evaluate(qname)
+                    metrics = result.evaluate(qname)
                     counts = metrics.as_dict()
                     total = metrics.total()
-                    fp = metrics.fp_instructions(arch.fp_arith_categories)
+                    fp = metrics.fp_instructions(
+                        config.arch.fp_arith_categories)
                 except (MiraError, RecursionError):
                     pass  # stays parametric-only in the summary
             functions[qname] = {
@@ -335,7 +350,7 @@ def _analyze_one(spec: dict) -> dict:
                 "total": total,
                 "fp_ins": fp,
             }
-        cov = loop_coverage(model.processed.tu, spec["name"])
+        cov = loop_coverage(result.processed.tu, spec["name"])
         return {
             "ok": True,
             "functions": functions,
@@ -345,7 +360,8 @@ def _analyze_one(spec: dict) -> dict:
                 "in_loop_statements": cov.in_loop_statements,
                 "percentage": round(cov.percentage, 2),
             },
-            "model_source": model.python_source(),
+            "model_source": result.python_source(),
+            "result": result.to_dict(),
             "elapsed": time.perf_counter() - t0,
         }
     except MiraError as exc:
@@ -380,12 +396,18 @@ def _result_from_payload(item: BatchItem, key: str, payload: dict,
         )
         for q, f in payload["functions"].items()
     }
+    # The payload's "result" key is the versioned AnalysisResult wire
+    # format: cache hits reconstruct the evaluable model from it directly —
+    # the compiler never runs on the warm path.
+    analysis = (AnalysisResult.from_dict(payload["result"])
+                if payload.get("result") is not None else None)
     return BatchResult(name=item.name, filename=item.filename, ok=True,
                        cache_key=key, from_cache=from_cache,
                        elapsed=elapsed,
                        functions=functions,
                        coverage=dict(payload["coverage"]),
-                       model_source=payload["model_source"])
+                       model_source=payload["model_source"],
+                       analysis=analysis)
 
 
 class _child_importable:
@@ -420,32 +442,64 @@ class _child_importable:
 # ---------------------------------------------------------------------------
 
 class BatchAnalyzer:
-    """Corpus-scale front end over :class:`Mira`.
+    """Corpus-scale front end over the :class:`Pipeline`.
 
-    Parameters mirror :class:`Mira` plus the batch knobs:
+    All analysis knobs live in one :class:`AnalysisConfig` — including the
+    cache policy (``cache_dir``/``use_cache``).  The legacy keyword surface
+    (``arch``/``opt_level``/``default_branch_ratio``/``cache_dir``/
+    ``use_cache``) is still accepted and folded into the config.
 
+    :param config: the analysis configuration (default:
+        ``AnalysisConfig()``).
     :param jobs: worker processes (``None`` = ``os.cpu_count()``; ``1`` runs
         serially in-process, which is also the automatic fallback when the
         platform cannot spawn a process pool).
-    :param cache_dir: on-disk model cache location
-        (default ``~/.cache/mira/models``).
-    :param use_cache: set ``False`` to bypass the cache entirely.
     """
 
-    def __init__(self, arch: ArchDescription | None = None,
-                 opt_level: int = 2,
-                 default_branch_ratio: float = 0.5,
+    def __init__(self, config: AnalysisConfig | None = None, *,
                  jobs: int | None = None,
+                 arch: ArchDescription | None = None,
+                 opt_level: int | None = None,
+                 default_branch_ratio: float | None = None,
                  cache_dir: str | None = None,
-                 use_cache: bool = True) -> None:
-        self.arch = arch or default_arch()
-        self.opt_level = opt_level
-        self.default_branch_ratio = default_branch_ratio
+                 use_cache: bool | None = None) -> None:
+        if isinstance(config, ArchDescription):
+            # Legacy positional call: BatchAnalyzer(arch) predates the
+            # config-first signature.
+            config, arch = None, (arch or config)
+        elif config is not None and not isinstance(config, AnalysisConfig):
+            raise MiraError(
+                f"BatchAnalyzer expects an AnalysisConfig (or a legacy "
+                f"ArchDescription), got {type(config).__name__}")
+        if config is None:
+            config = AnalysisConfig()
+        overrides = {k: v for k, v in (
+            ("arch", arch), ("opt_level", opt_level),
+            ("default_branch_ratio", default_branch_ratio),
+            ("cache_dir", cache_dir), ("use_cache", use_cache),
+        ) if v is not None}
+        if overrides:
+            config = config.with_changes(**overrides)
+        self.config = config
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
-        self.use_cache = use_cache
-        self.cache = ModelCache(cache_dir) if use_cache else None
-        self._mira = Mira(arch=self.arch, opt_level=opt_level,
-                          default_branch_ratio=default_branch_ratio)
+        self.cache = ModelCache(config.cache_dir) if config.use_cache else None
+
+    # -- back-compat attribute surface -------------------------------------------
+    @property
+    def arch(self) -> ArchDescription:
+        return self.config.arch
+
+    @property
+    def opt_level(self) -> int:
+        return self.config.opt_level
+
+    @property
+    def default_branch_ratio(self) -> float:
+        return self.config.default_branch_ratio
+
+    @property
+    def use_cache(self) -> bool:
+        return self.config.use_cache
 
     # -- entry points ------------------------------------------------------------
     def analyze_paths(self, paths, predefined: dict | None = None) -> BatchReport:
@@ -484,34 +538,39 @@ class BatchAnalyzer:
     def analyze_items(self, items, predefined: dict | None = None) -> BatchReport:
         t0 = time.perf_counter()
         stats0 = self.cache.stats() if self.cache is not None else {}
-        predefined = dict(predefined or {})
+        # Per-call predefines overlay the config's own; the merged config is
+        # what fingerprints the work and ships to worker processes.
+        run_config = self.config.with_changes(
+            predefined=self.config.merged_predefines(predefined))
+        config_json = run_config.to_json(indent=None)
         items = list(items)
         results: dict[int, BatchResult] = {}
 
         # Identical work items (same fingerprint) are analyzed once and the
         # payload fanned out to every slot that asked for it.
-        arch_json = self.arch.to_json()
         pending: list[tuple[int, BatchItem, str]] = []
         specs: dict[str, dict] = {}   # fingerprint -> spec, first-seen order
         for i, item in enumerate(items):
-            key = self._mira.fingerprint(item.source, filename=item.filename,
-                                         predefined=predefined)
+            key = run_config.fingerprint(item.source, filename=item.filename)
             if self.cache is not None and key not in specs:
                 payload = self.cache.get(key)
                 if payload is not None:
-                    results[i] = _result_from_payload(item, key, payload,
-                                                      from_cache=True)
-                    continue
+                    try:
+                        results[i] = _result_from_payload(
+                            item, key, payload, from_cache=True)
+                        continue
+                    except MiraError:
+                        # Undecodable stale/corrupt payload: fall through and
+                        # re-analyze as a miss.
+                        self.cache.hits -= 1
+                        self.cache.misses += 1
             pending.append((i, item, key))
             if key not in specs:
                 specs[key] = {
                     "name": item.name,
                     "source": item.source,
                     "filename": item.filename,
-                    "arch_json": arch_json,
-                    "opt_level": self.opt_level,
-                    "branch_ratio": self.default_branch_ratio,
-                    "predefined": predefined,
+                    "config_json": config_json,
                 }
 
         jobs = max(1, min(self.jobs, len(specs) or 1))

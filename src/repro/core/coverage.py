@@ -67,5 +67,6 @@ def loop_coverage(tu: A.TranslationUnit, name: str = "") -> CoverageReport:
                           acc["statements"], acc["in_loop"])
 
 
-def loop_coverage_source(source: str, name: str = "") -> CoverageReport:
-    return loop_coverage(parse_source(source), name)
+def loop_coverage_source(source: str, name: str = "",
+                         predefined: dict | None = None) -> CoverageReport:
+    return loop_coverage(parse_source(source, predefined=predefined), name)

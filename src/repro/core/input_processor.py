@@ -21,7 +21,8 @@ __all__ = ["ProcessedInput", "InputProcessor", "source_fingerprint"]
 
 # Bump when the pipeline's observable output changes shape, so stale
 # on-disk model caches self-invalidate instead of replaying old results.
-PIPELINE_VERSION = 1
+# v2: cache payloads carry the serialized AnalysisResult wire format.
+PIPELINE_VERSION = 2
 
 
 def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,

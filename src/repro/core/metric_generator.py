@@ -91,21 +91,40 @@ class CallTerm:
 
 @dataclass
 class FunctionModel:
-    """The parametric model of one function."""
+    """The parametric model of one function.
 
-    fn: A.FunctionDef
+    Live models carry the source AST node in ``fn``; models restored from a
+    serialized :class:`~repro.core.result.AnalysisResult` have ``fn=None``
+    and carry their identity in ``restored_names`` instead (the AST is not
+    part of the wire format).
+    """
+
+    fn: A.FunctionDef | None
     terms: list = field(default_factory=list)
     calls: list = field(default_factory=list)
     warnings: list = field(default_factory=list)
     params: list = field(default_factory=list)   # resolved later (ordered)
+    restored_names: tuple | None = None          # (qualified_name, model_name)
+
+    @classmethod
+    def restored(cls, qualified_name: str, model_name: str, *,
+                 terms=(), calls=(), warnings=(), params=()) -> "FunctionModel":
+        """Rebuild a model from serialized parts, without an AST."""
+        return cls(fn=None, terms=list(terms), calls=list(calls),
+                   warnings=list(warnings), params=list(params),
+                   restored_names=(qualified_name, model_name))
 
     @property
     def qualified_name(self) -> str:
+        if self.restored_names is not None:
+            return self.restored_names[0]
         return self.fn.qualified_name
 
     @property
     def model_name(self) -> str:
         """Paper naming: class + function + original arg count (``A_foo_2``)."""
+        if self.restored_names is not None:
+            return self.restored_names[1]
         name = self.fn.name.replace("operator()", "operatorcall")
         parts = []
         if self.fn.class_name:

@@ -1,6 +1,10 @@
 """The Mira facade: one call from source code to an evaluable model.
 
-Typical use::
+``Mira`` is now a thin back-compat shim over the real API —
+:class:`~repro.core.config.AnalysisConfig` (what to analyze with),
+:class:`~repro.core.pipeline.Pipeline` (the staged executor), and
+:class:`~repro.core.result.AnalysisResult` (the versioned product).
+The historical surface keeps working unchanged::
 
     from repro import Mira
 
@@ -8,132 +12,72 @@ Typical use::
     model = mira.analyze(source_code)  # full pipeline (paper Fig. 1)
     m = model.evaluate("main")         # Metrics for the whole program
     print(m.as_dict())
-    print(model.fp_instructions("cg_solve", {"n": 30}))
     print(model.python_source())       # the generated model module
+
+New code should prefer the pipeline directly::
+
+    from repro import AnalysisConfig, Pipeline
+
+    result = Pipeline(AnalysisConfig(opt_level=3)).run(source_code)
+    print(result.stage_timings)        # per-stage wall time
+    text = result.to_json()            # versioned, machine-readable
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..compiler.arch import ArchDescription, default_arch
-from ..errors import ModelError
-from .input_processor import (InputProcessor, ProcessedInput,
-                              source_fingerprint)
-from .metric_generator import (FunctionModel, GeneratorOptions,
-                               MetricGenerator)
-from .model_generator import (compile_model, evaluate_model,
-                              generate_model_source)
-from .model_runtime import Metrics
+from .config import AnalysisConfig
+from .pipeline import Pipeline
+from .result import AnalysisResult
 
 __all__ = ["Mira", "MiraModel"]
 
-
-@dataclass
-class MiraModel:
-    """The product of an analysis: parametric models for every function."""
-
-    processed: ProcessedInput
-    models: dict = field(default_factory=dict)   # qualified name -> FunctionModel
-    arch: ArchDescription = field(default_factory=default_arch)
-    _source_cache: str | None = None
-
-    # -- evaluation ---------------------------------------------------------------
-    def evaluate(self, function: str, params: dict | None = None) -> Metrics:
-        """Evaluate the model of ``function`` with parameter bindings."""
-        qname = self._resolve(function)
-        return evaluate_model(self.models, qname, params)
-
-    def parameters(self, function: str) -> list[str]:
-        return self.models[self._resolve(function)].params
-
-    def warnings(self, function: str | None = None) -> list[str]:
-        if function is not None:
-            return list(self.models[self._resolve(function)].warnings)
-        out: list[str] = []
-        for q, m in self.models.items():
-            out.extend(f"{q}: {w}" for w in m.warnings)
-        return out
-
-    def fp_instructions(self, function: str, params: dict | None = None) -> int:
-        """Floating-point instruction count (PAPI_FP_INS analog, Tables
-        III-V)."""
-        return self.evaluate(function, params).fp_instructions(
-            self.arch.fp_arith_categories)
-
-    def categorized_counts(self, function: str,
-                           params: dict | None = None) -> dict[str, int]:
-        """Per-category instruction counts (paper Table II)."""
-        return self.evaluate(function, params).as_dict()
-
-    # -- code generation ------------------------------------------------------------
-    def python_source(self) -> str:
-        if self._source_cache is None:
-            self._source_cache = generate_model_source(
-                self.models, self.arch, self.processed.tu.filename)
-        return self._source_cache
-
-    def compiled_module(self) -> dict:
-        return compile_model(self.python_source())
-
-    def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.python_source())
-
-    # -- helpers ------------------------------------------------------------------
-    def _resolve(self, function: str) -> str:
-        if function in self.models:
-            return function
-        matches = [q for q in self.models
-                   if q == function or q.endswith(f"::{function}")
-                   or self.models[q].model_name == function]
-        if len(matches) == 1:
-            return matches[0]
-        if not matches:
-            raise ModelError(f"no model for function {function!r}; "
-                             f"available: {sorted(self.models)}")
-        raise ModelError(f"ambiguous function {function!r}: {matches}")
-
-    def function_models(self) -> dict[str, FunctionModel]:
-        return dict(self.models)
+#: Back-compat alias: the product of an analysis used to be ``MiraModel``;
+#: it is now the serializable :class:`AnalysisResult`.
+MiraModel = AnalysisResult
 
 
 class Mira:
-    """The framework entry point (paper Fig. 1 workflow)."""
+    """The framework entry point (paper Fig. 1 workflow), facade edition."""
 
     def __init__(self, arch: ArchDescription | None = None,
                  opt_level: int = 2,
-                 default_branch_ratio: float = 0.5) -> None:
-        self.arch = arch or default_arch()
-        self.opt_level = opt_level
-        self.gen_options = GeneratorOptions(
-            default_branch_ratio=default_branch_ratio,
-            opt_level=opt_level)
+                 default_branch_ratio: float = 0.5,
+                 config: AnalysisConfig | None = None) -> None:
+        if config is None:
+            config = AnalysisConfig(
+                arch=arch or default_arch(),
+                opt_level=opt_level,
+                default_branch_ratio=default_branch_ratio)
+        self.config = config
 
+    # -- back-compat attribute surface --------------------------------------------
+    @property
+    def arch(self) -> ArchDescription:
+        return self.config.arch
+
+    @property
+    def opt_level(self) -> int:
+        return self.config.opt_level
+
+    @property
+    def gen_options(self):
+        return self.config.gen_options()
+
+    # -- analysis -----------------------------------------------------------------
     def analyze(self, source: str, filename: str = "<input>",
-                predefined: dict | None = None) -> MiraModel:
-        processed = InputProcessor(self.arch, self.opt_level).process_source(
-            source, filename=filename, predefined=predefined)
-        return self._finish(processed)
+                predefined: dict | None = None) -> AnalysisResult:
+        return Pipeline(self.config).run(source, filename=filename,
+                                         predefined=predefined)
 
     def analyze_file(self, path: str,
-                     predefined: dict | None = None) -> MiraModel:
-        processed = InputProcessor(self.arch, self.opt_level).process_file(
-            path, predefined=predefined)
-        return self._finish(processed)
+                     predefined: dict | None = None) -> AnalysisResult:
+        return Pipeline(self.config).run_file(path, predefined=predefined)
 
     def fingerprint(self, source: str, filename: str = "<input>",
                     predefined: dict | None = None) -> str:
         """Content-addressed key identifying ``analyze(source, ...)`` under
-        this instance's architecture, optimization level, and generator
-        options.  The batch engine's on-disk model cache is keyed on this."""
-        return source_fingerprint(
-            source, self.arch, self.opt_level, predefined=predefined,
-            filename=filename,
-            branch_ratio=self.gen_options.default_branch_ratio)
-
-    def _finish(self, processed: ProcessedInput) -> MiraModel:
-        gen = MetricGenerator(processed.tu, processed.bridges, self.arch,
-                              self.gen_options)
-        models = gen.generate()
-        return MiraModel(processed=processed, models=models, arch=self.arch)
+        this instance's configuration.  The batch engine's on-disk model
+        cache is keyed on this."""
+        return self.config.fingerprint(source, filename=filename,
+                                       predefined=predefined)

@@ -1,0 +1,180 @@
+"""The staged analysis pipeline (paper Fig. 1, made inspectable).
+
+The paper's workflow is a staged dataflow: preprocess+parse the source,
+compile it, disassemble the object *bytes* back into a binary AST, bridge
+source lines to binary cost centers, and generate the parametric models.
+:class:`Pipeline` makes those stages first-class:
+
+* **named stages** — ``parse → compile → disassemble → bridge → model``,
+* **partial execution** — :meth:`Pipeline.run_until` stops after any stage
+  and returns the :class:`PipelineState` holding every artifact built so
+  far (the CLI's ``mira inspect --stage`` debugging entry point),
+* **per-stage wall-time accounting** — ``state.timings`` and
+  ``AnalysisResult.stage_timings``,
+* **observer hooks** — callables receiving a :class:`StageEvent` at each
+  stage boundary (progress bars, tracing, profiling).
+
+A full :meth:`Pipeline.run` returns an
+:class:`~repro.core.result.AnalysisResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..binary import disassemble
+from ..bridge import build_bridge
+from ..compiler import compile_tu
+from ..errors import PipelineError
+from ..frontend import parse_source
+from .config import AnalysisConfig
+from .input_processor import ProcessedInput
+from .metric_generator import MetricGenerator
+from .result import AnalysisResult
+
+__all__ = ["Pipeline", "PipelineState", "StageEvent", "STAGES"]
+
+#: Stage names, in execution order.
+STAGES = ("parse", "compile", "disassemble", "bridge", "model")
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One observer notification: a stage is starting or has finished."""
+
+    stage: str
+    phase: str            # "start" | "end"
+    index: int            # position of the stage in STAGES
+    elapsed: float = 0.0  # wall seconds (end events only)
+
+
+@dataclass
+class PipelineState:
+    """Everything a (possibly partial) pipeline run has produced."""
+
+    config: AnalysisConfig
+    source: str
+    filename: str = "<input>"
+    predefined: dict = field(default_factory=dict)
+    tu: object = None          # after "parse":       frontend TranslationUnit
+    obj: object = None         # after "compile":     ObjectFile
+    program: object = None     # after "disassemble": binary AsmProgram
+    bridges: dict | None = None   # after "bridge":   qname -> FunctionBridge
+    models: dict | None = None    # after "model":    qname -> FunctionModel
+    result: AnalysisResult | None = None
+    timings: dict = field(default_factory=dict)   # stage -> seconds
+
+    @property
+    def stage(self) -> str | None:
+        """The last completed stage (None before "parse" finishes)."""
+        done = [s for s in STAGES if s in self.timings]
+        return done[-1] if done else None
+
+    def processed(self) -> ProcessedInput:
+        """The classic ProcessedInput view (requires stages through
+        "bridge")."""
+        if self.bridges is None:
+            raise PipelineError(
+                'ProcessedInput requires the pipeline to have run through '
+                f'"bridge"; last completed stage: {self.stage!r}')
+        return ProcessedInput(tu=self.tu, obj=self.obj, program=self.program,
+                              bridges=self.bridges, arch=self.config.arch,
+                              opt_level=self.config.opt_level)
+
+
+class Pipeline:
+    """Staged executor over one :class:`AnalysisConfig`."""
+
+    STAGES = STAGES
+
+    def __init__(self, config: AnalysisConfig | None = None,
+                 observers=()) -> None:
+        self.config = config or AnalysisConfig()
+        self._observers = list(observers)
+
+    def add_observer(self, observer) -> "Pipeline":
+        """Register a callable invoked with a :class:`StageEvent` at every
+        stage start/end.  Returns self for chaining."""
+        self._observers.append(observer)
+        return self
+
+    # -- entry points ------------------------------------------------------------
+    def run(self, source: str, filename: str = "<input>",
+            predefined: dict | None = None) -> AnalysisResult:
+        """The full pipeline: source text in, AnalysisResult out."""
+        state = self.run_until("model", source, filename=filename,
+                               predefined=predefined)
+        return state.result
+
+    def run_file(self, path: str,
+                 predefined: dict | None = None) -> AnalysisResult:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return self.run(source, filename=path, predefined=predefined)
+
+    def run_until(self, stage: str, source: str, filename: str = "<input>",
+                  predefined: dict | None = None) -> PipelineState:
+        """Execute stages up to and including ``stage``; return the state.
+
+        ``run_until("model")`` is equivalent to :meth:`run` except that it
+        returns the full state (whose ``.result`` is the AnalysisResult).
+        """
+        if stage not in STAGES:
+            raise PipelineError(f"unknown pipeline stage {stage!r}; "
+                                f"stages are: {', '.join(STAGES)}")
+        state = PipelineState(
+            config=self.config, source=source, filename=filename,
+            predefined=self.config.merged_predefines(predefined))
+        last = STAGES.index(stage)
+        for i, name in enumerate(STAGES[:last + 1]):
+            self._notify(StageEvent(name, "start", i))
+            t0 = time.perf_counter()
+            getattr(self, f"_stage_{name}")(state)
+            dt = time.perf_counter() - t0
+            state.timings[name] = dt
+            self._notify(StageEvent(name, "end", i, elapsed=dt))
+        if state.models is not None:
+            state.result = AnalysisResult(
+                models=state.models,
+                arch=self.config.arch,
+                processed=state.processed(),
+                source_name=filename,
+                opt_level=self.config.opt_level,
+                fingerprint=self.config.fingerprint(
+                    source, filename=filename, predefined=predefined),
+                stage_timings=dict(state.timings))
+        return state
+
+    def run_file_until(self, stage: str, path: str,
+                       predefined: dict | None = None) -> PipelineState:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        return self.run_until(stage, source, filename=path,
+                              predefined=predefined)
+
+    # -- stages ------------------------------------------------------------------
+    def _stage_parse(self, state: PipelineState) -> None:
+        state.tu = parse_source(state.source, filename=state.filename,
+                                predefined=state.predefined)
+
+    def _stage_compile(self, state: PipelineState) -> None:
+        state.obj = compile_tu(state.tu, opt_level=self.config.opt_level)
+
+    def _stage_disassemble(self, state: PipelineState) -> None:
+        # Round-trip through bytes: the binary AST is built strictly from
+        # the object file, as in the paper.
+        state.program = disassemble(state.obj.to_bytes())
+
+    def _stage_bridge(self, state: PipelineState) -> None:
+        state.bridges = build_bridge(state.program)
+
+    def _stage_model(self, state: PipelineState) -> None:
+        gen = MetricGenerator(state.tu, state.bridges, self.config.arch,
+                              self.config.gen_options())
+        state.models = gen.generate()
+
+    # -- observers ---------------------------------------------------------------
+    def _notify(self, event: StageEvent) -> None:
+        for obs in self._observers:
+            obs(event)

@@ -1,0 +1,217 @@
+"""AnalysisResult: the versioned, serializable product of an analysis.
+
+Replaces ``MiraModel`` as the richer pipeline product.  It carries the
+per-function parametric models, their warnings, per-stage wall times, and —
+crucially — a **versioned JSON wire format**: ``to_json``/``from_json``
+round-trip everything evaluation needs (symbolic counts included, exact),
+so models can be cached, diffed, and served without re-running the
+compiler.  A restored result evaluates to bit-identical metrics and
+regenerates byte-identical Python model source.
+
+``processed`` (both ASTs + the bridge) is a live-run extra for tools that
+need the AST — the dynamic profiler, PBound — and is deliberately *not*
+serialized: the wire format is the model, not the compiler state.
+
+Back-compat: the full ``MiraModel`` surface (``evaluate``, ``parameters``,
+``warnings``, ``fp_instructions``, ``categorized_counts``,
+``python_source``, ``compiled_module``, ``save``) is preserved;
+``repro.MiraModel`` is an alias of this class.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..compiler.arch import ArchDescription, default_arch
+from ..errors import ModelError, SchemaError, SymbolicError
+from ..bridge.metrics import CategoryVector
+from ..symbolic import expr_from_json, expr_to_json
+from .input_processor import ProcessedInput
+from .metric_generator import CallTerm, FunctionModel, MetricTerm
+from .model_generator import (compile_model, evaluate_model,
+                              generate_model_source)
+from .model_runtime import Metrics
+
+__all__ = ["AnalysisResult", "RESULT_SCHEMA_VERSION"]
+
+RESULT_SCHEMA_VERSION = 1
+
+
+def _term_to_dict(t: MetricTerm) -> dict:
+    return {"line": t.line, "col": t.col, "desc": t.desc,
+            "vector": t.vector.as_dict(),
+            "count": expr_to_json(t.count)}
+
+
+def _term_from_dict(d: dict) -> MetricTerm:
+    return MetricTerm(line=int(d["line"]), col=int(d["col"]),
+                      vector=CategoryVector.from_dict(d["vector"]),
+                      count=expr_from_json(d["count"]),
+                      desc=d.get("desc", ""))
+
+
+def _call_to_dict(c: CallTerm) -> dict:
+    return {"callee": c.callee, "line": c.line,
+            "count": expr_to_json(c.count),
+            "args": {p: (expr_to_json(e) if e is not None else None)
+                     for p, e in c.arg_exprs.items()}}
+
+
+def _call_from_dict(d: dict) -> CallTerm:
+    return CallTerm(callee=d["callee"], count=expr_from_json(d["count"]),
+                    line=int(d["line"]),
+                    arg_exprs={p: (expr_from_json(e) if e is not None
+                                   else None)
+                               for p, e in d.get("args", {}).items()})
+
+
+def _model_to_dict(m: FunctionModel) -> dict:
+    return {"model_name": m.model_name,
+            "params": list(m.params),
+            "warnings": list(m.warnings),
+            "terms": [_term_to_dict(t) for t in m.terms],
+            "calls": [_call_to_dict(c) for c in m.calls]}
+
+
+def _model_from_dict(qname: str, d: dict) -> FunctionModel:
+    return FunctionModel.restored(
+        qname, d["model_name"],
+        terms=[_term_from_dict(t) for t in d.get("terms", [])],
+        calls=[_call_from_dict(c) for c in d.get("calls", [])],
+        warnings=list(d.get("warnings", [])),
+        params=list(d.get("params", [])))
+
+
+@dataclass
+class AnalysisResult:
+    """Parametric models for every function, plus run metadata."""
+
+    models: dict = field(default_factory=dict)   # qualified name -> FunctionModel
+    arch: ArchDescription = field(default_factory=default_arch)
+    processed: ProcessedInput | None = None      # live runs only; not serialized
+    source_name: str = "<input>"
+    opt_level: int = 2
+    fingerprint: str = ""
+    stage_timings: dict = field(default_factory=dict)  # stage -> seconds
+    _source_cache: str | None = None
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, function: str, params: dict | None = None) -> Metrics:
+        """Evaluate the model of ``function`` with parameter bindings."""
+        qname = self._resolve(function)
+        return evaluate_model(self.models, qname, params)
+
+    def parameters(self, function: str) -> list[str]:
+        return self.models[self._resolve(function)].params
+
+    def warnings(self, function: str | None = None) -> list[str]:
+        if function is not None:
+            return list(self.models[self._resolve(function)].warnings)
+        out: list[str] = []
+        for q, m in self.models.items():
+            out.extend(f"{q}: {w}" for w in m.warnings)
+        return out
+
+    def fp_instructions(self, function: str, params: dict | None = None) -> int:
+        """Floating-point instruction count (PAPI_FP_INS analog, Tables
+        III-V)."""
+        return self.evaluate(function, params).fp_instructions(
+            self.arch.fp_arith_categories)
+
+    def categorized_counts(self, function: str,
+                           params: dict | None = None) -> dict[str, int]:
+        """Per-category instruction counts (paper Table II)."""
+        return self.evaluate(function, params).as_dict()
+
+    # -- code generation ------------------------------------------------------------
+    def python_source(self) -> str:
+        if self._source_cache is None:
+            name = (self.processed.tu.filename if self.processed is not None
+                    else self.source_name)
+            self._source_cache = generate_model_source(
+                self.models, self.arch, name)
+        return self._source_cache
+
+    def compiled_module(self) -> dict:
+        return compile_model(self.python_source())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.python_source())
+
+    # -- serialization ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The versioned wire format (see :data:`RESULT_SCHEMA_VERSION`)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "AnalysisResult",
+            "source": (self.processed.tu.filename
+                       if self.processed is not None else self.source_name),
+            "opt_level": self.opt_level,
+            "fingerprint": self.fingerprint,
+            "arch": json.loads(self.arch.to_json()),
+            "stage_timings": {k: round(v, 6)
+                              for k, v in self.stage_timings.items()},
+            "functions": {q: _model_to_dict(m)
+                          for q, m in self.models.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(d: dict) -> "AnalysisResult":
+        if not isinstance(d, dict):
+            raise SchemaError("AnalysisResult document must be an object")
+        kind = d.get("kind", "AnalysisResult")
+        if kind != "AnalysisResult":
+            raise SchemaError(f"expected an AnalysisResult document, "
+                              f"got kind {kind!r}")
+        version = d.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported AnalysisResult schema version {version!r} "
+                f"(this build reads version {RESULT_SCHEMA_VERSION})")
+        arch_doc = d.get("arch")
+        arch = (ArchDescription.from_json(json.dumps(arch_doc))
+                if arch_doc is not None else default_arch())
+        try:
+            models = {q: _model_from_dict(q, m)
+                      for q, m in d.get("functions", {}).items()}
+        except (KeyError, TypeError, ValueError, SymbolicError) as exc:
+            raise SchemaError(
+                f"malformed AnalysisResult functions payload: {exc}") \
+                from None
+        return AnalysisResult(
+            models=models, arch=arch,
+            source_name=d.get("source", "<input>"),
+            opt_level=d.get("opt_level", 2),
+            fingerprint=d.get("fingerprint", ""),
+            stage_timings=dict(d.get("stage_timings", {})))
+
+    @staticmethod
+    def from_json(text: str) -> "AnalysisResult":
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise SchemaError(f"AnalysisResult is not valid JSON: {exc}") \
+                from None
+        return AnalysisResult.from_dict(doc)
+
+    # -- helpers ------------------------------------------------------------------
+    def _resolve(self, function: str) -> str:
+        if function in self.models:
+            return function
+        matches = [q for q in self.models
+                   if q == function or q.endswith(f"::{function}")
+                   or self.models[q].model_name == function]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ModelError(f"no model for function {function!r}; "
+                             f"available: {sorted(self.models)}")
+        raise ModelError(f"ambiguous function {function!r}: {matches}")
+
+    def function_models(self) -> dict[str, FunctionModel]:
+        return dict(self.models)

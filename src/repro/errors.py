@@ -62,6 +62,20 @@ class ModelError(MiraError):
     """Raised during model generation or model evaluation."""
 
 
+class PipelineError(MiraError):
+    """Raised by the staged analysis pipeline (unknown stage, artifact
+    requested from a stage that has not run)."""
+
+
+class SchemaError(MiraError):
+    """Raised when a serialized payload cannot be loaded: unknown schema
+    version, wrong document kind, or malformed structure.
+
+    Versioned payloads (:class:`~repro.core.config.AnalysisConfig`,
+    :class:`~repro.core.result.AnalysisResult`) refuse to load documents
+    from a different schema version instead of guessing."""
+
+
 class InterpError(MiraError):
     """Raised by the dynamic-execution substrate (runtime faults)."""
 

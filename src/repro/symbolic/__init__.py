@@ -23,6 +23,7 @@ from .expr import (
 )
 from .poly import Polynomial, expr_to_poly, power_sum_poly
 from .pycodegen import expr_to_python
+from .serialize import expr_from_json, expr_to_json
 from .summation import range_size, sum_expr, sum_poly_closed_form
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "Sym",
     "ZERO",
     "as_expr",
+    "expr_from_json",
+    "expr_to_json",
     "expr_to_poly",
     "expr_to_python",
     "power_sum_poly",

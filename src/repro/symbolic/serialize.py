@@ -1,0 +1,84 @@
+"""Exact JSON (de)serialization of symbolic expressions.
+
+:class:`~repro.core.result.AnalysisResult` persists function models —
+including their symbolic iteration counts — so models can be cached, diffed,
+and served without re-running the compiler.  Floats never enter the symbolic
+engine, so the wire format must carry exact rationals: every node becomes a
+type-tagged JSON array, with :class:`~fractions.Fraction` constants split
+into numerator/denominator.
+
+The encoding round-trips *structurally*: ``expr_from_json(expr_to_json(e))``
+rebuilds the identical tree (no re-canonicalization), so evaluation results
+are bit-for-bit identical to the original expression's.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import SymbolicError
+from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
+
+__all__ = ["expr_to_json", "expr_from_json"]
+
+
+def expr_to_json(e: Expr) -> list:
+    """Encode an expression as a JSON-able type-tagged tree."""
+    if isinstance(e, Int):
+        v = e.value
+        if v.denominator == 1:
+            return ["int", v.numerator]
+        return ["int", v.numerator, v.denominator]
+    if isinstance(e, Sym):
+        return ["sym", e.name]
+    if isinstance(e, Add):
+        return ["add"] + [expr_to_json(a) for a in e.args]
+    if isinstance(e, Mul):
+        return ["mul"] + [expr_to_json(a) for a in e.args]
+    if isinstance(e, Pow):
+        return ["pow", expr_to_json(e.base), e.exp]
+    if isinstance(e, FloorDiv):
+        return ["fdiv", expr_to_json(e.num), expr_to_json(e.den)]
+    if isinstance(e, Max):
+        return ["max"] + [expr_to_json(a) for a in e.args]
+    if isinstance(e, Min):
+        return ["min"] + [expr_to_json(a) for a in e.args]
+    if isinstance(e, Sum):
+        return ["sum", expr_to_json(e.body), e.var,
+                expr_to_json(e.lo), expr_to_json(e.hi)]
+    raise SymbolicError(
+        f"cannot serialize expression node {type(e).__name__}")
+
+
+def expr_from_json(obj) -> Expr:
+    """Rebuild the exact expression tree encoded by :func:`expr_to_json`."""
+    if not isinstance(obj, (list, tuple)) or not obj:
+        raise SymbolicError(f"malformed expression encoding: {obj!r}")
+    tag, *rest = obj
+    if tag == "int":
+        if len(rest) == 1:
+            return Int(Fraction(int(rest[0])))
+        if len(rest) == 2:
+            return Int(Fraction(int(rest[0]), int(rest[1])))
+    elif tag == "sym":
+        if len(rest) == 1:
+            return Sym(rest[0])
+    elif tag == "add":
+        return Add(tuple(expr_from_json(a) for a in rest))
+    elif tag == "mul":
+        return Mul(tuple(expr_from_json(a) for a in rest))
+    elif tag == "pow":
+        if len(rest) == 2:
+            return Pow(expr_from_json(rest[0]), int(rest[1]))
+    elif tag == "fdiv":
+        if len(rest) == 2:
+            return FloorDiv(expr_from_json(rest[0]), expr_from_json(rest[1]))
+    elif tag == "max":
+        return Max(tuple(expr_from_json(a) for a in rest))
+    elif tag == "min":
+        return Min(tuple(expr_from_json(a) for a in rest))
+    elif tag == "sum":
+        if len(rest) == 4:
+            return Sum(expr_from_json(rest[0]), rest[1],
+                       expr_from_json(rest[2]), expr_from_json(rest[3]))
+    raise SymbolicError(f"malformed expression encoding: {obj!r}")
