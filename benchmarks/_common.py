@@ -19,7 +19,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.core import (AnalysisConfig, AnalysisResult, BatchAnalyzer,
-                        BatchReport, Pipeline)
+                        BatchReport, Pipeline, SweepResult, sweep_source)
 from repro.dynamic import TauProfiler, TauReport
 from repro.workloads import get_source, source_path
 
@@ -50,6 +50,22 @@ def analyze_workload(name: str, defines: dict[str, int] | None = None,
         model = Pipeline(config).run(source, filename=name)
         _MODEL_MEMO[key] = model
     return model
+
+
+def sweep_workload(name: str, grid: dict, *, function: str = "main",
+                   defines: dict[str, int] | None = None,
+                   opt_level: int = 2) -> SweepResult:
+    """Sweep a bundled workload across a parameter grid.
+
+    Late-binds the swept names so a single analysis serves every grid point
+    wherever the frontend allows (the paper's Fig. 7 usage); the on-disk
+    cache stays off so benches measure the current code.
+    """
+    defs = {k: str(v) for k, v in (defines or {}).items()}
+    config = AnalysisConfig(opt_level=opt_level, predefined=defs,
+                            use_cache=False)
+    return sweep_source(get_source(name), grid, function=function,
+                        config=config, filename=name)
 
 
 def batch_corpus(names: list[str] | None = None, jobs: int | None = None,

@@ -1,0 +1,179 @@
+"""Compiled vs interpreted model evaluation, and the one-analysis sweep.
+
+The perf-trajectory bench for the compiled-evaluation subsystem.  Measures,
+on the dgemm and stream models:
+
+* **per-point evaluation throughput** — interpreted ``Expr.evaluate``
+  tree-walk vs closure-compiled models (``AnalysisResult.compiled``),
+* **sweep throughput** — points/second through ``AnalysisResult.sweep``,
+* **model-construction time** — the full pipeline with expression
+  hash-consing on vs off (``interning_disabled``),
+* **sweep economy** — a Fig. 7-style 5-point sweep must run the pipeline's
+  "compile" stage at most once per workload (stage counters).
+
+Emits ``benchmarks/out/BENCH_eval_sweep.json`` with the machine-comparable
+numbers next to the human-readable table.  CI asserts the JSON parses, that
+compiled throughput beats interpreted, and archives the artifact.
+"""
+
+import json
+import os
+import time
+
+from _common import (OUT_DIR, analyze_workload, rows_to_text, save_table,
+                     sweep_workload)
+
+from repro.core import STAGE_RUN_COUNTS, Pipeline, AnalysisConfig
+from repro.symbolic.expr import interning_disabled
+from repro.workloads import get_source
+
+#: Minimum wall time per throughput measurement (adaptive batching).
+MIN_MEASURE_SECONDS = 0.15
+
+SWEEP_SIZES = [20_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+DGEMM_POINTS = [16, 64, 256, 1024, 4096]
+
+
+def _throughput(fn) -> float:
+    """Calls/second of ``fn``, batched until the timer is trustworthy."""
+    fn()  # warm-up (compile caches, interning tables)
+    batch = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed >= MIN_MEASURE_SECONDS:
+            return batch / elapsed
+        batch *= 4
+
+
+def _eval_pair(model, function, envs):
+    """(interpreted/s, compiled/s) for cycling evaluations over ``envs``."""
+    state = {"i": 0}
+
+    def interp():
+        env = envs[state["i"] % len(envs)]
+        state["i"] += 1
+        return model.evaluate(function, env)
+
+    def compiled():
+        env = envs[state["i"] % len(envs)]
+        state["i"] += 1
+        return model.evaluate_compiled(function, env)
+
+    # equivalence guard: the speedup must not come from different answers
+    for env in envs:
+        assert model.evaluate_compiled(function, env).counts == \
+            model.evaluate(function, env).counts
+    return _throughput(interp), _throughput(compiled)
+
+
+def _construction_seconds() -> dict:
+    """Full-pipeline wall time with and without expression interning."""
+    source = get_source("dgemm")
+
+    def build():
+        return Pipeline(AnalysisConfig()).run(source, filename="dgemm")
+
+    def best_of(k, fn):
+        times = []
+        for _ in range(k):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    interned = best_of(3, build)
+    with interning_disabled():
+        uninterned = best_of(3, build)
+    return {"interned": interned, "uninterned": uninterned}
+
+
+def run_bench() -> dict:
+    doc = {"interpreted_evals_per_sec": {}, "compiled_evals_per_sec": {},
+           "speedup": {}, "sweep_points_per_sec": {},
+           "sweep_compile_invocations": {}, "construction_seconds": {}}
+
+    # ---- dgemm: the kernel is parametric out of the box -------------------
+    dgemm = analyze_workload("dgemm", {"DGEMM_N": 16, "DGEMM_NREP": 1})
+    envs = [{"n": p} for p in DGEMM_POINTS]
+    interp, compiled = _eval_pair(dgemm, "dgemm_kernel", envs)
+    doc["interpreted_evals_per_sec"]["dgemm"] = interp
+    doc["compiled_evals_per_sec"]["dgemm"] = compiled
+    doc["speedup"]["dgemm"] = compiled / interp
+
+    before = STAGE_RUN_COUNTS["compile"]
+    dgemm_sweep = dgemm.sweep("dgemm_kernel", {"n": DGEMM_POINTS})
+    doc["sweep_compile_invocations"]["dgemm"] = \
+        STAGE_RUN_COUNTS["compile"] - before
+    doc["sweep_points_per_sec"]["dgemm"] = _throughput(
+        lambda: dgemm.sweep("dgemm_kernel", {"n": DGEMM_POINTS})
+    ) * len(DGEMM_POINTS)
+
+    # ---- stream: the size macro is late-bound by the sweep engine ---------
+    before = STAGE_RUN_COUNTS["compile"]
+    swept = sweep_workload("stream", {"STREAM_ARRAY_SIZE": SWEEP_SIZES})
+    doc["sweep_compile_invocations"]["stream"] = \
+        STAGE_RUN_COUNTS["compile"] - before
+    doc["sweep_mode_stream"] = swept.mode
+    stream = swept.analysis
+    envs = [{"STREAM_ARRAY_SIZE": n} for n in SWEEP_SIZES]
+    interp, compiled = _eval_pair(stream, "main", envs)
+    doc["interpreted_evals_per_sec"]["stream"] = interp
+    doc["compiled_evals_per_sec"]["stream"] = compiled
+    doc["speedup"]["stream"] = compiled / interp
+    doc["sweep_points_per_sec"]["stream"] = _throughput(
+        lambda: stream.sweep("main", {"STREAM_ARRAY_SIZE": SWEEP_SIZES})
+    ) * len(SWEEP_SIZES)
+
+    doc["construction_seconds"] = _construction_seconds()
+    return doc
+
+
+def test_eval_sweep_bench(benchmark):
+    doc = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    # acceptance: compiled evaluation is >= 10x interpreted on both models
+    assert doc["speedup"]["dgemm"] >= 10, doc["speedup"]
+    assert doc["speedup"]["stream"] >= 10, doc["speedup"]
+    # a Fig. 7-style sweep costs at most one compile per workload
+    assert doc["sweep_compile_invocations"]["dgemm"] == 0
+    assert doc["sweep_compile_invocations"]["stream"] <= 1
+    assert doc["sweep_mode_stream"] == "parametric"
+
+    rows = [
+        ["dgemm interpreted evals/s", f"{doc['interpreted_evals_per_sec']['dgemm']:,.0f}"],
+        ["dgemm compiled evals/s", f"{doc['compiled_evals_per_sec']['dgemm']:,.0f}"],
+        ["dgemm speedup", f"{doc['speedup']['dgemm']:.1f}x"],
+        ["stream interpreted evals/s", f"{doc['interpreted_evals_per_sec']['stream']:,.0f}"],
+        ["stream compiled evals/s", f"{doc['compiled_evals_per_sec']['stream']:,.0f}"],
+        ["stream speedup", f"{doc['speedup']['stream']:.1f}x"],
+        ["dgemm sweep points/s", f"{doc['sweep_points_per_sec']['dgemm']:,.0f}"],
+        ["stream sweep points/s", f"{doc['sweep_points_per_sec']['stream']:,.0f}"],
+        ["sweep compiles (dgemm/stream)",
+         f"{doc['sweep_compile_invocations']['dgemm']}/"
+         f"{doc['sweep_compile_invocations']['stream']}"],
+        ["construction (interned)", f"{doc['construction_seconds']['interned']:.4f}s"],
+        ["construction (no interning)", f"{doc['construction_seconds']['uninterned']:.4f}s"],
+    ]
+    save_table("eval_sweep", rows_to_text(
+        "Compiled model evaluation — interpreted vs compiled vs sweep",
+        ["metric", "value"], rows,
+        note="Compiled = closure-compiled models (hash-consed expressions, "
+             "closed-form summations, integer fast path).  Sweep = one "
+             "analysis, compiled evaluation at every size."))
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_eval_sweep.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -11,7 +11,7 @@ TAU ≥ Mira (library-internal FP the static model cannot see).
 import pytest
 
 from _common import (analyze_workload, error_pct, fmt_sci, profile_workload,
-                     rows_to_text, save_table)
+                     rows_to_text, save_table, sweep_workload)
 
 DYNAMIC_SIZES = [20000, 50000, 100000]
 PAPER_SIZES = [2_000_000, 50_000_000, 100_000_000]
@@ -59,13 +59,19 @@ def test_table3_stream_fpi(benchmark, measured):
 
 
 def test_stream_static_model_reaches_paper_sizes(benchmark, measured):
-    """The same parametric model evaluates instantly at 100M elements."""
-    model = analyze_workload("stream", {"STREAM_ARRAY_SIZE": 100_000_000})
-    fp = benchmark(lambda: model.fp_instructions("main"))
+    """One late-bound analysis evaluates instantly at the paper's sizes."""
+    swept = sweep_workload("stream", {"STREAM_ARRAY_SIZE": PAPER_SIZES})
+    assert swept.mode == "parametric"  # one analysis served every size
+    model = swept.analysis
+    fp = benchmark(lambda: model.evaluate_compiled(
+        "main", {"STREAM_ARRAY_SIZE": 100_000_000}).fp_instructions(
+            model.arch.fp_arith_categories))
     # 4 kernel FP/element/rep × 10 reps + 6 FP/element validation
     # + 120 FP of scalar expected-value recurrence in check_results
     assert fp == 46 * 100_000_000 + 120
-    rows = [[f"{n:,}", fmt_sci(46 * n)] for n in PAPER_SIZES]
+    assert swept.fp_series() == [46 * n + 120 for n in PAPER_SIZES]
+    rows = [[f"{n:,}", fmt_sci(fp)]
+            for n, fp in zip(PAPER_SIZES, swept.fp_series())]
     save_table("table3_stream_paper_scale", rows_to_text(
         "STREAM static model at paper sizes (no execution required)",
         ["Array size", "Mira FPI"], rows))

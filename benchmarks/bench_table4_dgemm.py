@@ -56,10 +56,16 @@ def test_table4_dgemm_fpi(benchmark, measured):
 def test_dgemm_kernel_closed_form(benchmark, measured):
     """The kernel model is a closed-form polynomial: check 2n^3 + n^2 FP."""
     model = analyze_workload("dgemm", {"DGEMM_N": 32, "DGEMM_NREP": NREP})
-    fp = benchmark(lambda: model.fp_instructions("dgemm_kernel", {"n": 1024}))
+    fp = benchmark(lambda: model.evaluate_compiled(
+        "dgemm_kernel", {"n": 1024}).fp_instructions(
+            model.arch.fp_arith_categories))
     assert fp == 2 * 1024 ** 3 + 1024 ** 2
-    rows = [[f"paper {n}", fmt_sci(NREP * (2 * n ** 3 + n ** 2))]
-            for n in PAPER_ROWS]
+    assert fp == model.fp_instructions("dgemm_kernel", {"n": 1024})
+    # one sweep call evaluates the kernel at every paper size (no re-analysis)
+    swept = model.sweep("dgemm_kernel", {"n": list(PAPER_ROWS)})
+    rows = [[f"paper {n}", fmt_sci(NREP * fp)]
+            for n, fp in zip(PAPER_ROWS, swept.fp_series())]
+    assert swept.fp_series() == [2 * n ** 3 + n ** 2 for n in PAPER_ROWS]
     save_table("table4_dgemm_paper_scale", rows_to_text(
         "DGEMM static model at paper sizes (per run of main)",
         ["Matrix size", "Mira FPI"], rows))

@@ -12,6 +12,9 @@ Subcommands::
         emit the versioned AnalysisResult JSON with --json
     mira eval FILE FUNCTION [k=v ...]
         analyze and evaluate one function's model with parameter bindings
+    mira sweep FILE -p N=1e4..1e8 [--points K] [--function F]
+        evaluate a model across a parameter range; sizes are late-bound so
+        one analysis serves the whole sweep wherever the frontend allows
     mira inspect FILE --stage STAGE
         run the pipeline only up to STAGE (parse | compile | disassemble |
         bridge | model) and report what that stage produced + wall times
@@ -148,6 +151,77 @@ def cmd_eval(args) -> int:
         print(f"{n:>16}  {cat}")
     print(f"{metrics.total():>16}  TOTAL")
     print(f"{fp:>16}  FP_INS")
+    return 0
+
+
+def _parse_sweep_spec(spec: str, points: int) -> tuple[str, list[int]]:
+    """Parse one ``-p`` sweep axis.
+
+    ``N=1e4..1e8`` — ``points`` log-spaced integers including both ends;
+    ``N=1,2,4``   — an explicit list;
+    ``N=64``      — a single value.
+    """
+    name, sep, values = spec.partition("=")
+    if not sep or not name or not values:
+        raise SystemExit(
+            f"mira sweep: bad sweep spec {spec!r} (expected NAME=SPEC)")
+
+    def as_int(text: str) -> int:
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return int(float(text))
+            except ValueError:
+                raise SystemExit(
+                    f"mira sweep: bad value {text!r} in {spec!r}") from None
+
+    if ".." in values:
+        lo_s, _, hi_s = values.partition("..")
+        lo, hi = as_int(lo_s), as_int(hi_s)
+        if lo <= 0 or hi <= 0 or hi < lo:
+            raise SystemExit(
+                f"mira sweep: bad range {values!r} (need 0 < lo <= hi)")
+        if points < 2 or lo == hi:
+            return name, [lo] if lo == hi else [lo, hi]
+        ratio = (hi / lo) ** (1 / (points - 1))
+        out = []
+        for i in range(points):
+            v = int(round(lo * ratio ** i))
+            if not out or v > out[-1]:
+                out.append(v)
+        out[-1] = hi
+        return name, out
+    if "," in values:
+        return name, [as_int(v) for v in values.split(",") if v]
+    return name, [as_int(values)]
+
+
+def cmd_sweep(args) -> int:
+    from .core.sweep import sweep_source
+
+    grid = {}
+    for spec in args.param:
+        name, values = _parse_sweep_spec(spec, args.points)
+        grid[name] = values
+    result = sweep_source(_read(args.file), grid, function=args.function,
+                          config=_config_from_args(args),
+                          filename=args.file)
+    if args.json:
+        return _emit_json(result.to_dict())
+    print(f"# sweep of {result.function} over "
+          f"{', '.join(result.param_names)} "
+          f"({result.mode}, {result.analyses} analysis run(s))")
+    header = [*result.param_names, "TOTAL", "FP_INS"]
+    rows = [[str(p.env[n]) for n in result.param_names]
+            + [str(p.metrics.total()),
+               str(p.metrics.fp_instructions(result.fp_categories))]
+            for p in result.points]
+    widths = [max(len(h), max(len(r[i]) for r in rows))
+              for i, h in enumerate(header)]
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(r, widths)))
     return 0
 
 
@@ -327,6 +401,21 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("bindings", nargs="*", metavar="param=value")
     common(p)
     p.set_defaults(fn=cmd_eval)
+
+    p = sub.add_parser("sweep",
+                       help="evaluate a model across parameter ranges "
+                            "(one analysis where possible)")
+    p.add_argument("file")
+    p.add_argument("-p", "--param", action="append", required=True,
+                   metavar="NAME=SPEC",
+                   help="sweep axis: N=1e4..1e8 (log-spaced), N=1,2,4, "
+                        "or N=64; repeat for a grid")
+    p.add_argument("--points", type=int, default=5, metavar="K",
+                   help="points per .. range (default 5)")
+    p.add_argument("--function", default=None,
+                   help="function to evaluate (default: main)")
+    common(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("inspect",
                        help="run the pipeline partially and report stages")

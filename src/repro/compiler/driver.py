@@ -38,11 +38,23 @@ def build_globals_table(tu: A.TranslationUnit,
     for decl in tu.globals:
         for d in decl.decls:
             dims = []
-            for x in d.array_dims:
-                if not isinstance(x, A.IntLit):
+            for level, x in enumerate(d.array_dims):
+                if isinstance(x, A.IntLit):
+                    dims.append(x.value)
+                elif level == 0:
+                    # A parametric *outermost* dimension is allowed: element
+                    # addressing never reads it (only the inner dims feed
+                    # the linearization strides, and the element size is
+                    # fixed by the type), so the instruction stream is
+                    # identical to any concrete size.  This is what lets
+                    # the sweep engine model ``double a[N]`` with N a free
+                    # model symbol.  A placeholder of 1 only sizes the
+                    # virtual .bss symbol.
+                    dims.append(1)
+                else:
                     raise CompileError(
-                        f"global array {d.name!r} has non-constant dimension")
-                dims.append(x.value)
+                        f"global array {d.name!r} has non-constant "
+                        f"dimension")
             table[d.name] = VarInfo(d.name, d.type, tuple(dims),
                                     kind="global", symbol=d.name)
     return table

@@ -12,7 +12,7 @@ the batch corpus engine.
 from .analysis import (RooflineEstimate, arithmetic_intensity,
                        instruction_distribution, roofline_estimate)
 from .batch import (BatchAnalyzer, BatchItem, BatchReport, BatchResult,
-                    FunctionSummary, ModelCache)
+                    FunctionSummary, ModelCache, payload_from_result)
 from .config import CONFIG_SCHEMA_VERSION, AnalysisConfig
 from .coverage import CoverageReport, loop_coverage, loop_coverage_source
 from .input_processor import (InputProcessor, ProcessedInput,
@@ -23,8 +23,10 @@ from .mira import Mira, MiraModel
 from .model_generator import (compile_model, evaluate_model,
                               generate_model_source, model_entry_name)
 from .model_runtime import Metrics, handle_function_call
-from .pipeline import STAGES, Pipeline, PipelineState, StageEvent
+from .pipeline import (STAGE_RUN_COUNTS, STAGES, Pipeline, PipelineState,
+                       StageEvent, reset_stage_counters)
 from .result import RESULT_SCHEMA_VERSION, AnalysisResult
+from .sweep import SweepPoint, SweepResult, run_model_sweep, sweep_source
 
 __all__ = [
     "AnalysisConfig", "AnalysisResult", "BatchAnalyzer", "BatchItem",
@@ -32,9 +34,12 @@ __all__ = [
     "CoverageReport", "FunctionModel", "FunctionSummary", "GeneratorOptions",
     "InputProcessor", "Metrics", "MetricGenerator", "MetricTerm", "Mira",
     "MiraModel", "ModelCache", "Pipeline", "PipelineState", "ProcessedInput",
-    "RESULT_SCHEMA_VERSION", "RooflineEstimate", "STAGES", "StageEvent",
+    "RESULT_SCHEMA_VERSION", "RooflineEstimate", "STAGES",
+    "STAGE_RUN_COUNTS", "StageEvent", "SweepPoint", "SweepResult",
     "arithmetic_intensity", "compile_model", "evaluate_model",
     "generate_model_source", "handle_function_call",
     "instruction_distribution", "loop_coverage", "loop_coverage_source",
-    "model_entry_name", "roofline_estimate", "source_fingerprint",
+    "model_entry_name", "payload_from_result", "reset_stage_counters",
+    "roofline_estimate", "run_model_sweep", "source_fingerprint",
+    "sweep_source",
 ]

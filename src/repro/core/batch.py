@@ -51,7 +51,7 @@ from .result import RESULT_SCHEMA_VERSION, AnalysisResult
 
 __all__ = [
     "BatchAnalyzer", "BatchItem", "BatchReport", "BatchResult",
-    "FunctionSummary", "ModelCache",
+    "FunctionSummary", "ModelCache", "payload_from_result",
 ]
 
 
@@ -318,6 +318,51 @@ class ModelCache:
 # the worker (runs in child processes; must stay module-level picklable)
 # ---------------------------------------------------------------------------
 
+def payload_from_result(config: AnalysisConfig, result: AnalysisResult,
+                        name: str, elapsed: float) -> dict:
+    """The JSON-able success payload the :class:`ModelCache` stores.
+
+    Shared by the batch workers and the sweep engine's per-point fallback
+    (:mod:`repro.core.sweep`), so both populate — and can serve — the same
+    content-addressed cache entries.
+    """
+    functions = {}
+    for qname, fm in result.function_models().items():
+        params = result.parameters(qname)
+        counts = total = fp = None
+        if not params:
+            try:
+                metrics = result.evaluate(qname)
+                counts = metrics.as_dict()
+                total = metrics.total()
+                fp = metrics.fp_instructions(
+                    config.arch.fp_arith_categories)
+            except (MiraError, RecursionError):
+                pass  # stays parametric-only in the summary
+        functions[qname] = {
+            "model_name": fm.model_name,
+            "params": list(params),
+            "warnings": list(fm.warnings),
+            "counts": counts,
+            "total": total,
+            "fp_ins": fp,
+        }
+    cov = loop_coverage(result.processed.tu, name)
+    return {
+        "ok": True,
+        "functions": functions,
+        "coverage": {
+            "loops": cov.loops,
+            "statements": cov.statements,
+            "in_loop_statements": cov.in_loop_statements,
+            "percentage": round(cov.percentage, 2),
+        },
+        "model_source": result.python_source(),
+        "result": result.to_dict(),
+        "elapsed": elapsed,
+    }
+
+
 def _analyze_one(spec: dict) -> dict:
     """Analyze one source; returns the JSON-able payload that is cached.
 
@@ -329,41 +374,8 @@ def _analyze_one(spec: dict) -> dict:
         config = AnalysisConfig.from_json(spec["config_json"])
         result = Pipeline(config).run(spec["source"],
                                       filename=spec["filename"])
-        functions = {}
-        for qname, fm in result.function_models().items():
-            params = result.parameters(qname)
-            counts = total = fp = None
-            if not params:
-                try:
-                    metrics = result.evaluate(qname)
-                    counts = metrics.as_dict()
-                    total = metrics.total()
-                    fp = metrics.fp_instructions(
-                        config.arch.fp_arith_categories)
-                except (MiraError, RecursionError):
-                    pass  # stays parametric-only in the summary
-            functions[qname] = {
-                "model_name": fm.model_name,
-                "params": list(params),
-                "warnings": list(fm.warnings),
-                "counts": counts,
-                "total": total,
-                "fp_ins": fp,
-            }
-        cov = loop_coverage(result.processed.tu, spec["name"])
-        return {
-            "ok": True,
-            "functions": functions,
-            "coverage": {
-                "loops": cov.loops,
-                "statements": cov.statements,
-                "in_loop_statements": cov.in_loop_statements,
-                "percentage": round(cov.percentage, 2),
-            },
-            "model_source": result.python_source(),
-            "result": result.to_dict(),
-            "elapsed": time.perf_counter() - t0,
-        }
+        return payload_from_result(config, result, spec["name"],
+                                   time.perf_counter() - t0)
     except MiraError as exc:
         return {"ok": False, "error_type": type(exc).__name__,
                 "error": str(exc), "elapsed": time.perf_counter() - t0}

@@ -59,6 +59,11 @@ class AnalysisConfig:
     :param cache_dir: on-disk model cache location (``None`` = the default
         ``~/.cache/mira/models``).
     :param use_cache: cache policy for batch/corpus runs.
+    :param symbolic_params: names to treat as *free model symbols*: each is
+        declared as a synthetic global ``int`` after parsing (unless the
+        source already declares it), so sizes that normally arrive as
+        predefines can stay parametric in the generated model.  This is the
+        sweep engine's late-binding hook (see :mod:`repro.core.sweep`).
     """
 
     arch: ArchDescription = field(default_factory=default_arch)
@@ -67,6 +72,7 @@ class AnalysisConfig:
     predefined: tuple = ()
     cache_dir: str | None = None
     use_cache: bool = True
+    symbolic_params: tuple = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.opt_level, int) or not 0 <= self.opt_level <= 3:
@@ -78,6 +84,8 @@ class AnalysisConfig:
                 "(expected 0..1)")
         object.__setattr__(self, "predefined",
                            _normalize_predefines(self.predefined))
+        object.__setattr__(self, "symbolic_params",
+                           tuple(sorted(str(n) for n in self.symbolic_params)))
 
     # -- derived views ------------------------------------------------------------
     def predefines(self) -> dict:
@@ -113,7 +121,8 @@ class AnalysisConfig:
             source, self.arch, self.opt_level,
             predefined=self.merged_predefines(predefined),
             filename=filename,
-            branch_ratio=self.default_branch_ratio)
+            branch_ratio=self.default_branch_ratio,
+            symbolic_params=self.symbolic_params)
 
     # -- serialization ------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -126,6 +135,7 @@ class AnalysisConfig:
             "predefined": {k: v for k, v in self.predefined},
             "cache_dir": self.cache_dir,
             "use_cache": self.use_cache,
+            "symbolic_params": list(self.symbolic_params),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -153,6 +163,7 @@ class AnalysisConfig:
             predefined=d.get("predefined") or (),
             cache_dir=d.get("cache_dir"),
             use_cache=d.get("use_cache", True),
+            symbolic_params=tuple(d.get("symbolic_params") or ()),
         )
 
     @staticmethod

@@ -28,7 +28,8 @@ PIPELINE_VERSION = 2
 def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,
                        predefined: dict | None = None,
                        filename: str = "<input>",
-                       branch_ratio: float = 0.5) -> str:
+                       branch_ratio: float = 0.5,
+                       symbolic_params: tuple = ()) -> str:
     """Content-addressed identity of one analysis.
 
     Two analyses share a fingerprint iff they are guaranteed to produce the
@@ -47,6 +48,10 @@ def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,
                                  for k, v in (predefined or {}).items()),
             "filename": filename,
             "branch_ratio": str(branch_ratio),
+            # Omitted when empty so pre-existing fingerprints (and cached
+            # models) stay valid for non-symbolic analyses.
+            **({"symbolic_params": sorted(str(n) for n in symbolic_params)}
+               if symbolic_params else {}),
         },
         sort_keys=True,
     )

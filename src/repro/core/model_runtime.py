@@ -7,8 +7,9 @@ metrics into the caller, multiplying by the loop iteration count of the call
 site (paper §III-C.5).
 
 Counts are exact: iteration expressions may be rational (branch-ratio
-annotations), so values are accumulated as ``Fraction`` and rounded only on
-report.
+annotations), so values are accumulated exactly — as machine ints on the
+fast path, falling back to ``Fraction`` arithmetic only once a rational
+enters — and rounded only on report.
 """
 
 from __future__ import annotations
@@ -17,16 +18,57 @@ from fractions import Fraction
 from numbers import Rational
 from typing import Callable, Mapping
 
-__all__ = ["Metrics", "handle_function_call", "_mira_sum"]
+__all__ = ["Metrics", "handle_function_call", "_mira_sum",
+           "_mira_ceil", "_mira_floor", "_mira_exact"]
 
 
-def _mira_sum(body: Callable[[int], object], lo, hi) -> Fraction:
-    """Numeric fallback for lazy symbolic sums (empty range → 0)."""
-    lo = int(lo)
-    hi = int(hi)
-    total = Fraction(0)
-    for k in range(lo, hi + 1):
-        total += Fraction(body(k))
+def _mira_ceil(x) -> int:
+    """Exact ceiling of an int/Fraction bound (int fast path)."""
+    if type(x) is int:
+        return x
+    if isinstance(x, Fraction):
+        return -((-x.numerator) // x.denominator)
+    return int(x)  # exotic exact integrals (e.g. bool is rejected upstream)
+
+
+def _mira_floor(x) -> int:
+    """Exact floor of an int/Fraction bound (int fast path)."""
+    if type(x) is int:
+        return x
+    if isinstance(x, Fraction):
+        return x.numerator // x.denominator
+    return int(x)
+
+
+def _mira_exact(x):
+    """Normalize an exact value: integral ``Fraction`` → ``int``.
+
+    Keeps closed-form summation results (whose Faulhaber coefficients are
+    rational) on the integer fast path whenever the value is integral.
+    """
+    if type(x) is Fraction and x.denominator == 1:
+        return x.numerator
+    return x
+
+
+def _mira_sum(body: Callable[[int], object], lo, hi):
+    """Numeric fallback for lazy symbolic sums.
+
+    Empty-range convention: the summation range is the integer lattice
+    ``[ceil(lo), floor(hi)]`` — exactly the range ``Sum.evaluate`` walks —
+    and an empty range (``ceil(lo) > floor(hi)``, including arbitrarily
+    reversed bounds) contributes 0.  Reversed bounds are deliberately *not*
+    an error: clamped iteration domains (``Max``/``Min`` trip counts)
+    legitimately produce them, and a zero contribution is what real loop
+    execution yields.
+
+    Integer fast path: int-valued bodies accumulate as machine ints; the
+    accumulator switches to exact ``Fraction`` arithmetic automatically the
+    moment a rational term (branch-ratio model) enters.
+    """
+    total = 0
+    for k in range(_mira_ceil(lo), _mira_floor(hi) + 1):
+        total += body(k)
     return total
 
 
@@ -36,15 +78,24 @@ class Metrics:
     __slots__ = ("counts",)
 
     def __init__(self) -> None:
-        self.counts: dict[str, Fraction] = {}
+        self.counts: dict[str, int | Fraction] = {}
 
     def add(self, vector: Mapping[str, int], times=1) -> None:
-        """Accumulate ``vector × times`` (one model statement)."""
-        t = Fraction(times)
-        if t == 0:
+        """Accumulate ``vector × times`` (one model statement).
+
+        Fast path: while ``times`` and the accumulated values are ints, the
+        sums stay machine ints (no per-statement ``Fraction`` boxing); exact
+        ``Fraction`` arithmetic takes over automatically when a rational
+        count (branch-ratio model) enters.  Semantics are identical either
+        way — Python's numeric tower keeps int/Fraction mixtures exact.
+        """
+        if isinstance(times, float):
+            times = Fraction(times)  # floats never enter exact accumulation
+        if times == 0:
             return
+        counts = self.counts
         for cat, n in vector.items():
-            self.counts[cat] = self.counts.get(cat, Fraction(0)) + n * t
+            counts[cat] = counts.get(cat, 0) + n * times
 
     def merge(self, other: "Metrics", times=1) -> None:
         self.add(other.counts, times)
@@ -54,7 +105,7 @@ class Metrics:
         """Rounded integer counts by category (zero rows dropped)."""
         out = {}
         for cat, v in self.counts.items():
-            n = int(round(v))
+            n = v if type(v) is int else int(round(v))
             if n:
                 out[cat] = n
         return out
@@ -63,7 +114,8 @@ class Metrics:
         return sum(self.as_dict().values())
 
     def get(self, category: str) -> int:
-        return int(round(self.counts.get(category, Fraction(0))))
+        v = self.counts.get(category, 0)
+        return v if type(v) is int else int(round(v))
 
     def fp_instructions(self, fp_categories) -> int:
         """PAPI_FP_INS analog over the arch file's FP categories."""

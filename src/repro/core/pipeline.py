@@ -21,22 +21,36 @@ A full :meth:`Pipeline.run` returns an
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 
 from ..binary import disassemble
 from ..bridge import build_bridge
 from ..compiler import compile_tu
 from ..errors import PipelineError
+from ..frontend import ast_nodes as A
 from ..frontend import parse_source
+from ..frontend.types import Type
 from .config import AnalysisConfig
 from .input_processor import ProcessedInput
 from .metric_generator import MetricGenerator
 from .result import AnalysisResult
 
-__all__ = ["Pipeline", "PipelineState", "StageEvent", "STAGES"]
+__all__ = ["Pipeline", "PipelineState", "StageEvent", "STAGES",
+           "STAGE_RUN_COUNTS", "reset_stage_counters"]
 
 #: Stage names, in execution order.
 STAGES = ("parse", "compile", "disassemble", "bridge", "model")
+
+#: Process-wide count of executed stages across every Pipeline instance.
+#: Observability hook: the sweep benchmarks assert a parametric sweep runs
+#: the "compile" stage at most once per workload.
+STAGE_RUN_COUNTS: Counter = Counter()
+
+
+def reset_stage_counters() -> None:
+    """Zero the process-wide stage counters (test/benchmark hygiene)."""
+    STAGE_RUN_COUNTS.clear()
 
 
 @dataclass(frozen=True)
@@ -133,6 +147,7 @@ class Pipeline:
             getattr(self, f"_stage_{name}")(state)
             dt = time.perf_counter() - t0
             state.timings[name] = dt
+            STAGE_RUN_COUNTS[name] += 1
             self._notify(StageEvent(name, "end", i, elapsed=dt))
         if state.models is not None:
             state.result = AnalysisResult(
@@ -157,6 +172,28 @@ class Pipeline:
     def _stage_parse(self, state: PipelineState) -> None:
         state.tu = parse_source(state.source, filename=state.filename,
                                 predefined=state.predefined)
+        if self.config.symbolic_params:
+            self._inject_symbolic_params(state.tu)
+
+    def _inject_symbolic_params(self, tu) -> None:
+        """Declare each ``config.symbolic_params`` name as a global int.
+
+        This is the late-binding half of the sweep engine: a size macro
+        predefined to *itself* survives preprocessing as a plain identifier
+        (see the preprocessor's blue-paint rule), and this synthetic global
+        gives the compiler a symbol to load, so the polyhedral layer sees a
+        free model parameter instead of a baked-in constant.  Only existing
+        *global* declarations and function names suppress the injection; a
+        same-named function parameter or local (e.g. dgemm's ``n``) simply
+        shadows the synthetic global, which then sits unused.
+        """
+        declared = {d.name for g in tu.globals for d in g.decls}
+        declared |= {f.name for f in tu.all_functions()}
+        for name in self.config.symbolic_params:
+            if name in declared:
+                continue
+            tu.globals.append(A.DeclStmt(
+                [A.VarDecl(name, Type("int"), [], None)]))
 
     def _stage_compile(self, state: PipelineState) -> None:
         state.obj = compile_tu(state.tu, opt_level=self.config.opt_level)

@@ -1,0 +1,305 @@
+"""One-analysis parametric sweeps (paper Fig. 7, Tables III-V).
+
+The paper's core value proposition is that a Mira model is *parametric*:
+analyze once, then evaluate instruction counts across arbitrary input sizes
+"for free".  Historically our benches contradicted that — sizes arrived as
+preprocessor predefines, so every sweep point re-ran the whole
+parse→compile→disassemble→bridge→model pipeline.  This module restores the
+paper's promise:
+
+* :func:`run_model_sweep` — evaluate an existing
+  :class:`~repro.core.result.AnalysisResult` at every point of a parameter
+  grid through its closure-compiled models (microseconds per point); this
+  is what ``AnalysisResult.sweep`` calls.
+* :func:`sweep_source` — the **late-binding engine**.  It first attempts a
+  *symbolic* analysis in which each swept name is predefined to itself (the
+  preprocessor's blue-paint rule leaves it as a plain identifier) and
+  declared as a synthetic global via ``AnalysisConfig.symbolic_params``, so
+  a size macro like ``STREAM_ARRAY_SIZE`` becomes a free model symbol: one
+  pipeline run, then the whole grid is compiled evaluation.  Where the
+  frontend cannot go symbolic (e.g. the name feeds an inner array
+  dimension), it falls back to one cached analysis per point — memoized in
+  process and, when the config enables caching, shared with the batch
+  engine's content-addressed on-disk :class:`~repro.core.batch.ModelCache`.
+
+The late-bound symbolic model is guaranteed to agree with per-point concrete
+analyses on *counting* (trip counts, FP instruction counts): a constant that
+becomes a symbol only changes how the bound reaches the comparison (an
+immediate operand versus a global load), never how often anything executes.
+Integer move/compare categories at loop-condition cost centers can therefore
+differ slightly between the two modes; ``SweepResult.mode`` records which
+one produced the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import product
+
+from ..errors import MiraError, ModelError, SchemaError
+from .config import AnalysisConfig
+from .pipeline import Pipeline
+from .result import RESULT_SCHEMA_VERSION, AnalysisResult
+
+__all__ = ["SweepPoint", "SweepResult", "expand_grid", "run_model_sweep",
+           "sweep_source"]
+
+
+# ---------------------------------------------------------------------------
+# grids
+# ---------------------------------------------------------------------------
+
+def expand_grid(grid) -> tuple[tuple, list]:
+    """Normalize a sweep grid into ``(param_names, point_envs)``.
+
+    ``grid`` is either a mapping ``name -> value(s)`` (scalars are treated
+    as one-element axes; multiple axes expand to their cartesian product in
+    row-major order) or an explicit sequence of point dicts.
+    """
+    if isinstance(grid, (list, tuple)):
+        envs = [dict(g) for g in grid]
+        if not envs:
+            raise ModelError("sweep grid has no points")
+        names: list = []
+        for g in envs:
+            for k in g:
+                if k not in names:
+                    names.append(k)
+        return tuple(names), envs
+    if not isinstance(grid, dict) or not grid:
+        raise ModelError(
+            "sweep grid must be a non-empty mapping of parameter values "
+            "or a sequence of point dicts")
+    names = tuple(grid.keys())
+    axes = []
+    for n in names:
+        v = grid[n]
+        if isinstance(v, (int, Fraction)):
+            v = [v]
+        axis = list(v)
+        if not axis:
+            raise ModelError(f"sweep axis {n!r} has no values")
+        axes.append(axis)
+    return names, [dict(zip(names, combo)) for combo in product(*axes)]
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point: the swept bindings and the exact metrics."""
+
+    env: dict
+    metrics: object  # Metrics
+
+
+@dataclass
+class SweepResult:
+    """The product of a sweep: per-point metrics plus provenance.
+
+    ``mode`` is ``"parametric"`` (one analysis, compiled evaluation across
+    the grid — the paper's promise) or ``"per-point"`` (one cached analysis
+    per grid point — the fallback).  ``analyses`` counts how many pipeline
+    runs the sweep actually consumed; a warm parametric sweep reports 0.
+    """
+
+    function: str                 # resolved qualified name
+    param_names: tuple
+    points: list = field(default_factory=list)
+    mode: str = "parametric"
+    analyses: int = 0
+    fp_categories: tuple = ()
+    analysis: AnalysisResult | None = None   # the parametric result, if any
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def fp_series(self) -> list[int]:
+        """FP instruction count at every grid point, in grid order."""
+        return [p.metrics.fp_instructions(self.fp_categories)
+                for p in self.points]
+
+    def totals(self) -> list[int]:
+        return [p.metrics.total() for p in self.points]
+
+    def to_dict(self) -> dict:
+        def jsonable(v):
+            return v if isinstance(v, int) else str(v)
+
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "SweepResult",
+            "function": self.function,
+            "mode": self.mode,
+            "analyses": self.analyses,
+            "params": list(self.param_names),
+            "points": [
+                {"params": {k: jsonable(v) for k, v in p.env.items()},
+                 "counts": p.metrics.as_dict(),
+                 "total": p.metrics.total(),
+                 "fp_ins": p.metrics.fp_instructions(self.fp_categories)}
+                for p in self.points
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# model-level sweep (AnalysisResult.sweep)
+# ---------------------------------------------------------------------------
+
+def run_model_sweep(result: AnalysisResult, function: str, grid,
+                    base: dict | None = None, *, mode: str = "parametric",
+                    analyses: int = 0) -> SweepResult:
+    """Evaluate ``result``'s model of ``function`` at every grid point.
+
+    Uses the closure-compiled models (built once, cached on the result), so
+    additional points cost microseconds.  ``base`` supplies bindings for
+    model parameters that are not being swept.
+    """
+    qname = result._resolve(function)
+    names, envs = expand_grid(grid)
+    compiled = result.compiled()
+    points = []
+    for env in envs:
+        full = dict(base or {})
+        full.update(env)
+        points.append(SweepPoint(env=dict(env),
+                                 metrics=compiled.evaluate(qname, full)))
+    return SweepResult(function=qname, param_names=names, points=points,
+                       mode=mode, analyses=analyses,
+                       fp_categories=tuple(result.arch.fp_arith_categories),
+                       analysis=result)
+
+
+# ---------------------------------------------------------------------------
+# source-level sweep with late binding
+# ---------------------------------------------------------------------------
+
+#: In-process analysis memo keyed on config fingerprints (bounded FIFO).
+_ANALYSIS_MEMO: dict[str, AnalysisResult] = {}
+_ANALYSIS_MEMO_MAX = 32
+
+
+def _memo_put(key: str, result: AnalysisResult) -> None:
+    if len(_ANALYSIS_MEMO) >= _ANALYSIS_MEMO_MAX:
+        _ANALYSIS_MEMO.pop(next(iter(_ANALYSIS_MEMO)))
+    _ANALYSIS_MEMO[key] = result
+
+
+def _resolve_function(result: AnalysisResult, function: str | None):
+    """Resolve the sweep target, or None if this result cannot serve it."""
+    try:
+        return result._resolve(function or "main")
+    except ModelError:
+        if function is None and result.models:
+            return next(iter(result.models))
+        return None
+
+
+def _try_symbolic_analysis(source: str, names: tuple,
+                           config: AnalysisConfig,
+                           filename: str) -> tuple[AnalysisResult | None, int]:
+    """One pipeline run with every swept name late-bound.
+
+    Returns ``(result, analyses)`` where ``analyses`` is the number of
+    pipeline runs actually consumed (0 on a memo hit, so warm sweeps report
+    their true cost), or ``(None, 0)`` when late binding is impossible.
+    """
+    keep = tuple((k, v) for k, v in config.predefined if k not in names)
+    sym_cfg = config.with_changes(
+        predefined=keep + tuple((n, n) for n in names),
+        symbolic_params=tuple(names))
+    key = sym_cfg.fingerprint(source, filename=filename)
+    hit = _ANALYSIS_MEMO.get(key)
+    if hit is not None:
+        return hit, 0
+    try:
+        result = Pipeline(sym_cfg).run(source, filename=filename)
+    except MiraError:
+        return None, 0
+    _memo_put(key, result)
+    return result, 1
+
+
+def _disk_cache(config: AnalysisConfig):
+    if not config.use_cache:
+        return None
+    from .batch import ModelCache  # deferred: batch sits beside this module
+
+    return ModelCache(config.cache_dir)
+
+
+def sweep_source(source: str, grid, *, function: str | None = None,
+                 config: AnalysisConfig | None = None,
+                 filename: str = "<input>",
+                 base: dict | None = None) -> SweepResult:
+    """Sweep a source file across a parameter grid with one analysis if the
+    frontend allows, one *cached* analysis per point otherwise.
+
+    Swept names may be genuine model parameters (dgemm's ``n``), size
+    macros (``STREAM_ARRAY_SIZE``), or a mix; the late-binding attempt
+    handles the first two uniformly (a self-referential predefine is a
+    no-op for a non-macro name) and the fallback covers the rest.
+    """
+    config = config or AnalysisConfig()
+    names, envs = expand_grid(grid)
+
+    # ---- late binding: one symbolic analysis, compiled grid evaluation ----
+    symbolic, sym_analyses = _try_symbolic_analysis(source, names, config,
+                                                    filename)
+    if symbolic is not None:
+        qname = _resolve_function(symbolic, function)
+        if qname is not None and \
+                set(names) <= set(symbolic.parameters(qname)):
+            return run_model_sweep(symbolic, qname, envs, base=base,
+                                   mode="parametric", analyses=sym_analyses)
+
+    # ---- fallback: one analysis per point, memoized + disk-cached ----
+    cache = _disk_cache(config)
+    keep = tuple((k, v) for k, v in config.predefined if k not in names)
+    points = []
+    analyses = 0
+    qname_out = None
+    fp_categories = tuple(config.arch.fp_arith_categories)
+    for env in envs:
+        pcfg = config.with_changes(
+            predefined=keep + tuple((n, str(env[n])) for n in names
+                                    if n in env))
+        key = pcfg.fingerprint(source, filename=filename)
+        res = _ANALYSIS_MEMO.get(key)
+        if res is None and cache is not None:
+            payload = cache.get(key)
+            if payload and payload.get("ok") and payload.get("result"):
+                try:
+                    res = AnalysisResult.from_dict(payload["result"])
+                except SchemaError:
+                    res = None
+            if res is not None:
+                _memo_put(key, res)
+        if res is None:
+            res = Pipeline(pcfg).run(source, filename=filename)
+            analyses += 1
+            _memo_put(key, res)
+            if cache is not None:
+                from .batch import payload_from_result
+
+                cache.put(key, payload_from_result(pcfg, res, filename, 0.0))
+        qname = _resolve_function(res, function)
+        if qname is None:  # raise the detailed ModelError
+            res._resolve(function or "main")
+        qname_out = qname
+        full = dict(base or {})
+        full.update(env)
+        eval_env = {k: v for k, v in full.items()
+                    if k in res.parameters(qname)}
+        points.append(SweepPoint(env=dict(env),
+                                 metrics=res.evaluate(qname, eval_env)))
+    return SweepResult(function=qname_out, param_names=names, points=points,
+                       mode="per-point", analyses=analyses,
+                       fp_categories=fp_categories, analysis=None)

@@ -43,8 +43,15 @@ class MacroTable:
         return name in self.macros
 
 
-def _expand(line: str, table: MacroTable, depth: int = 0) -> str:
-    """Expand macros in one line (no newlines introduced)."""
+def _expand(line: str, table: MacroTable, depth: int = 0,
+            active: frozenset = frozenset()) -> str:
+    """Expand macros in one line (no newlines introduced).
+
+    Standard C "blue paint": a macro is never re-expanded inside its own
+    expansion, so self-referential definitions (``#define N N`` — which the
+    sweep engine uses to turn a size macro into a free model symbol) leave
+    the name in place instead of recursing.
+    """
     if depth > 32:
         raise ParseError("macro expansion too deep (recursive macro?)")
     out: list[str] = []
@@ -69,12 +76,12 @@ def _expand(line: str, table: MacroTable, depth: int = 0) -> str:
             continue
         word = m.group(0)
         i = m.end()
-        if word not in table:
+        if word not in table or word in active:
             out.append(word)
             continue
         params, body = table.macros[word]
         if params is None:
-            out.append(_expand(body, table, depth + 1))
+            out.append(_expand(body, table, depth + 1, active | {word}))
             continue
         # Function-like: need an argument list right here.
         if i >= n or line[i] != "(":
@@ -113,7 +120,8 @@ def _expand(line: str, table: MacroTable, depth: int = 0) -> str:
         expanded = body
         for p, a in sorted(zip(params, args), key=lambda pa: -len(pa[0])):
             expanded = re.sub(rf"\b{re.escape(p)}\b", a, expanded)
-        out.append("(" + _expand(expanded, table, depth + 1) + ")")
+        out.append("(" + _expand(expanded, table, depth + 1,
+                                 active | {word}) + ")")
         i = j
     return "".join(out)
 

@@ -3,9 +3,20 @@
 See :mod:`repro.symbolic.expr` for the expression nodes,
 :mod:`repro.symbolic.poly` for polynomial canonicalization and Faulhaber
 power sums, :mod:`repro.symbolic.summation` for symbolic summation, and
-:mod:`repro.symbolic.pycodegen` for Python code emission.
+:mod:`repro.symbolic.pycodegen` for Python code emission, and
+:mod:`repro.symbolic.compile` for closure-compiled evaluation.
+
+Expression identity is canonical: nodes are hash-consed, so structurally
+equal expressions are the same object (see :mod:`repro.symbolic.expr`).
 """
 
+from .compile import (
+    CompiledExpr,
+    CompiledResult,
+    compile_expr,
+    compile_function_model,
+    compile_result,
+)
 from .expr import (
     Add,
     Expr,
@@ -28,7 +39,12 @@ from .summation import range_size, sum_expr, sum_poly_closed_form
 
 __all__ = [
     "Add",
+    "CompiledExpr",
+    "CompiledResult",
     "Expr",
+    "compile_expr",
+    "compile_function_model",
+    "compile_result",
     "FloorDiv",
     "Int",
     "Max",

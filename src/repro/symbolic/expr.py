@@ -16,10 +16,24 @@ the framework needs:
 * free-variable queries.
 
 All arithmetic is exact; floats never enter the engine.
+
+**Expr identity is canonical** (hash-consing): every node is interned in a
+process-wide weak table keyed on its structure, so structurally equal trees
+built through *any* code path — operators, ``make`` constructors, the
+polynomial backend, :mod:`.serialize` round-trips — are the **same object**:
+``a + b is a + b``.  Equality therefore short-circuits on identity, deep
+trees share subterms instead of duplicating them, and per-node caches
+(structural hash, free-symbol sets) are computed at most once per distinct
+expression in the process.  ``Add.make``/``Mul.make`` canonicalization is
+additionally memoized on the (interned) argument tuples, which removes the
+quadratic re-canonicalization cost of repeated subtrees during model
+construction.
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from fractions import Fraction
 from typing import Iterable, Mapping, Union
 
@@ -42,6 +56,8 @@ __all__ = [
     "as_expr",
     "ZERO",
     "ONE",
+    "interning_disabled",
+    "intern_table_size",
 ]
 
 
@@ -55,13 +71,77 @@ def _ceil_fraction(x: Fraction) -> int:
     return -((-x.numerator) // x.denominator)
 
 
+# ---------------------------------------------------------------------------
+# hash-consing machinery
+# ---------------------------------------------------------------------------
+
+#: The global intern table: structural key -> node.  Weak values, so
+#: expressions no longer referenced anywhere are collectable.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+#: Interning on/off switch (see :func:`interning_disabled`).
+_INTERNING = True
+
+#: Memo for ``Add.make``/``Mul.make`` canonicalization, keyed on the operator
+#: and the (interned) argument tuple.  Bounded: cleared wholesale when full.
+_MAKE_MEMO: dict = {}
+_MAKE_MEMO_MAX = 1 << 16
+
+
+@contextmanager
+def interning_disabled():
+    """Temporarily construct fresh (non-interned) nodes.
+
+    Benchmark instrumentation only: lets ``bench_eval_sweep`` measure model
+    construction with and without hash-consing.  Correctness is unaffected —
+    ``__eq__`` keeps its structural fallback — but identity guarantees
+    (``a + b is a + b``) do not hold for nodes built inside the block.
+    """
+    global _INTERNING
+    prev = _INTERNING
+    _INTERNING = False
+    _MAKE_MEMO.clear()
+    try:
+        yield
+    finally:
+        _INTERNING = prev
+        _MAKE_MEMO.clear()
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (observability / benchmarks)."""
+    return len(_INTERN)
+
+
+def _interned(cls, key: tuple, attrs: tuple):
+    """Return the canonical node for ``key``, creating it if needed."""
+    if _INTERNING:
+        self = _INTERN.get(key)
+        if self is not None:
+            return self
+    self = object.__new__(cls)
+    for name, value in attrs:
+        object.__setattr__(self, name, value)
+    if _INTERNING:
+        _INTERN[key] = self
+    return self
+
+
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+
 class Expr:
     """Base class for all symbolic expressions.
 
-    Expressions are immutable and hashable; equality is structural.
+    Expressions are immutable, hashable, and hash-consed: structural
+    equality coincides with identity for nodes built while interning is
+    enabled (the default), so ``==`` short-circuits on ``is``.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_free", "__weakref__")
+
+    def __setattr__(self, name, value):  # immutability for every node type
+        raise AttributeError("Expr nodes are immutable")
 
     # -- construction helpers -------------------------------------------------
     def __add__(self, other: ExprLike) -> "Expr":
@@ -104,6 +184,15 @@ class Expr:
 
     # -- interface ------------------------------------------------------------
     def free_symbols(self) -> frozenset:
+        """Free symbol names, computed once and cached per node."""
+        try:
+            return self._free
+        except AttributeError:
+            fs = self._free_symbols()
+            object.__setattr__(self, "_free", fs)
+            return fs
+
+    def _free_symbols(self) -> frozenset:  # pragma: no cover - per subclass
         raise NotImplementedError
 
     def subs(self, mapping: Mapping[str, ExprLike]) -> "Expr":
@@ -150,20 +239,17 @@ class Int(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Number) -> None:
+    def __new__(cls, value: Number) -> "Int":
         if isinstance(value, bool):  # bool is an int subclass; reject it
             raise SymbolicError("boolean is not a numeric constant")
         if isinstance(value, int):
             value = Fraction(value)
         if not isinstance(value, Fraction):
             raise SymbolicError(f"Int requires an exact number, got {type(value)!r}")
-        object.__setattr__(self, "value", value)
+        return _interned(cls, ("Int", value), (("value", value),))
 
-    def __setattr__(self, name, value):  # immutability
-        raise AttributeError("Expr nodes are immutable")
-
-    def free_symbols(self) -> frozenset:
-        return frozenset()
+    def _free_symbols(self) -> frozenset:
+        return _EMPTY_FROZENSET
 
     def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
         return self
@@ -177,6 +263,8 @@ class Int(Expr):
         return f"({self.value.numerator}/{self.value.denominator})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Int) and self.value == other.value
 
     __hash__ = Expr.__hash__
@@ -190,15 +278,12 @@ class Sym(Expr):
 
     __slots__ = ("name",)
 
-    def __init__(self, name: str) -> None:
+    def __new__(cls, name: str) -> "Sym":
         if not name or not isinstance(name, str):
             raise SymbolicError("symbol name must be a non-empty string")
-        object.__setattr__(self, "name", name)
+        return _interned(cls, ("Sym", name), (("name", name),))
 
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
-
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return frozenset({self.name})
 
     def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
@@ -218,6 +303,8 @@ class Sym(Expr):
         return self.name
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Sym) and self.name == other.name
 
     __hash__ = Expr.__hash__
@@ -232,13 +319,11 @@ class _NAry(Expr):
     __slots__ = ("args",)
     _symbol = "?"
 
-    def __init__(self, args: tuple) -> None:
-        object.__setattr__(self, "args", tuple(args))
+    def __new__(cls, args: tuple) -> "_NAry":
+        args = tuple(args)
+        return _interned(cls, (cls.__name__, args), (("args", args),))
 
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
-
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out |= a.free_symbols()
@@ -248,6 +333,8 @@ class _NAry(Expr):
         return "(" + f" {self._symbol} ".join(map(repr, self.args)) + ")"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(other) is type(self) and self.args == other.args
 
     __hash__ = Expr.__hash__
@@ -279,6 +366,21 @@ def _try_poly_canonical(args: Iterable[Expr], op: str) -> Expr | None:
     return acc.to_expr()
 
 
+def _memoized_make(op: str, args: tuple, build) -> Expr:
+    """Memoize a canonicalizing ``make`` on its interned argument tuple."""
+    if not _INTERNING:
+        return build(args)
+    key = (op, args)
+    hit = _MAKE_MEMO.get(key)
+    if hit is not None:
+        return hit
+    out = build(args)
+    if len(_MAKE_MEMO) >= _MAKE_MEMO_MAX:
+        _MAKE_MEMO.clear()
+    _MAKE_MEMO[key] = out
+    return out
+
+
 class Add(_NAry):
     """n-ary sum."""
 
@@ -288,6 +390,10 @@ class Add(_NAry):
     @staticmethod
     def make(args: Iterable[ExprLike]) -> Expr:
         args = tuple(as_expr(a) for a in args)
+        return _memoized_make("+", args, Add._make_uncached)
+
+    @staticmethod
+    def _make_uncached(args: tuple) -> Expr:
         canon = _try_poly_canonical(args, "+")
         if canon is not None:
             return canon
@@ -332,6 +438,10 @@ class Mul(_NAry):
     @staticmethod
     def make(args: Iterable[ExprLike]) -> Expr:
         args = tuple(as_expr(a) for a in args)
+        return _memoized_make("*", args, Mul._make_uncached)
+
+    @staticmethod
+    def _make_uncached(args: tuple) -> Expr:
         canon = _try_poly_canonical(args, "*")
         if canon is not None:
             return canon
@@ -375,12 +485,9 @@ class Pow(Expr):
 
     __slots__ = ("base", "exp")
 
-    def __init__(self, base: Expr, exp: int) -> None:
-        object.__setattr__(self, "base", base)
-        object.__setattr__(self, "exp", exp)
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
+    def __new__(cls, base: Expr, exp: int) -> "Pow":
+        return _interned(cls, ("Pow", base, exp),
+                         (("base", base), ("exp", exp)))
 
     @staticmethod
     def make(base: ExprLike, exp: int) -> Expr:
@@ -400,7 +507,7 @@ class Pow(Expr):
             return (p ** exp).to_expr()
         return Pow(base, exp)
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.base.free_symbols()
 
     def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
@@ -413,6 +520,8 @@ class Pow(Expr):
         return f"{self.base!r}**{self.exp}"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Pow) and self.base == other.base and self.exp == other.exp
 
     __hash__ = Expr.__hash__
@@ -429,12 +538,9 @@ class FloorDiv(Expr):
 
     __slots__ = ("num", "den")
 
-    def __init__(self, num: Expr, den: Expr) -> None:
-        object.__setattr__(self, "num", num)
-        object.__setattr__(self, "den", den)
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
+    def __new__(cls, num: Expr, den: Expr) -> "FloorDiv":
+        return _interned(cls, ("FloorDiv", num, den),
+                         (("num", num), ("den", den)))
 
     @staticmethod
     def make(num: ExprLike, den: ExprLike) -> Expr:
@@ -448,7 +554,7 @@ class FloorDiv(Expr):
             return num
         return FloorDiv(num, den)
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.num.free_symbols() | self.den.free_symbols()
 
     def subs(self, mapping: Mapping[str, ExprLike]) -> Expr:
@@ -464,6 +570,8 @@ class FloorDiv(Expr):
         return f"({self.num!r} // {self.den!r})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, FloorDiv) and self.num == other.num and self.den == other.den
 
     __hash__ = Expr.__hash__
@@ -476,11 +584,9 @@ class _MinMax(Expr):
     __slots__ = ("args",)
     _pick = None  # overridden
 
-    def __init__(self, args: tuple) -> None:
-        object.__setattr__(self, "args", tuple(args))
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
+    def __new__(cls, args: tuple) -> "_MinMax":
+        args = tuple(args)
+        return _interned(cls, (cls.__name__, args), (("args", args),))
 
     @classmethod
     def make(cls, args: Iterable[ExprLike]) -> Expr:
@@ -512,7 +618,7 @@ class _MinMax(Expr):
             raise SymbolicError(f"{cls.__name__} of no arguments")
         return cls(tuple(uniq))
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out |= a.free_symbols()
@@ -528,6 +634,8 @@ class _MinMax(Expr):
         return f"{type(self).__name__}({', '.join(map(repr, self.args))})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(other) is type(self) and self.args == other.args
 
     __hash__ = Expr.__hash__
@@ -561,14 +669,10 @@ class Sum(Expr):
 
     __slots__ = ("body", "var", "lo", "hi")
 
-    def __init__(self, body: Expr, var: str, lo: Expr, hi: Expr) -> None:
-        object.__setattr__(self, "body", body)
-        object.__setattr__(self, "var", var)
-        object.__setattr__(self, "lo", lo)
-        object.__setattr__(self, "hi", hi)
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Expr nodes are immutable")
+    def __new__(cls, body: Expr, var: str, lo: Expr, hi: Expr) -> "Sum":
+        return _interned(cls, ("Sum", body, var, lo, hi),
+                         (("body", body), ("var", var),
+                          ("lo", lo), ("hi", hi)))
 
     @staticmethod
     def make(body: ExprLike, var: str, lo: ExprLike, hi: ExprLike) -> Expr:
@@ -590,7 +694,7 @@ class Sum(Expr):
             return Int(total)
         return Sum(body, var, lo, hi)
 
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return (
             (self.body.free_symbols() - {self.var})
             | self.lo.free_symbols()
@@ -619,6 +723,8 @@ class Sum(Expr):
         return f"Sum({self.body!r}, {self.var}={self.lo!r}..{self.hi!r})"
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Sum)
             and self.body == other.body
@@ -635,6 +741,10 @@ class Sum(Expr):
 
 ZERO = Int(0)
 ONE = Int(1)
+
+#: Strong references pin the most common constants in the weak intern table
+#: so they are never re-created (the poly backend churns through small ints).
+_SMALL_INT_PIN = tuple(Int(i) for i in range(-8, 129))
 
 
 def as_expr(x: ExprLike) -> Expr:

@@ -6,6 +6,16 @@ evaluates exactly.  Rational coefficients are emitted as ``Fraction`` calls
 (the generated model imports ``Fraction`` from the standard library), and the
 lazy ``Sum`` fallback is rendered as a call to the ``_mira_sum`` helper from
 :mod:`repro.core.model_runtime`.
+
+Two rendering modes exist for ``Sum`` nodes:
+
+* ``sum_mode="loop"`` (default) — the ``_mira_sum`` loop fallback, the
+  stable generated-module format.
+* ``sum_mode="closed"`` — used by :mod:`.compile` for closure-compiled
+  models: polynomial bodies are lowered to an exact Faulhaber closed form
+  guarded by a runtime empty-range check (``ceil(lo) > floor(hi)`` → 0),
+  which is bit-identical to ``Sum.evaluate`` for *every* input, including
+  reversed and fractional bounds.  Non-polynomial bodies keep the loop.
 """
 
 from __future__ import annotations
@@ -14,40 +24,104 @@ from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
 
 __all__ = ["expr_to_python"]
 
+#: Reserved identifiers for the closed-form guard lambda.
+_CF_LO = "_mira_lo"
+_CF_HI = "_mira_hi"
 
-def expr_to_python(e: Expr) -> str:
+
+def expr_to_python(e: Expr, *, sum_mode: str = "loop", rename=None) -> str:
     """Render an Expr as a Python expression string.
 
     The string assumes ``from fractions import Fraction`` and the
     ``_mira_sum`` helper are in scope (both are emitted in the model
-    preamble by the model generator).
+    preamble by the model generator).  ``sum_mode="closed"`` additionally
+    requires ``_mira_ceil``/``_mira_floor``/``_mira_exact`` (all exported by
+    :mod:`repro.core.model_runtime`).
+
+    ``rename`` optionally maps symbol names to emitted identifiers (used by
+    :mod:`.compile` to mangle model parameters into safe local names);
+    summation bound variables are never renamed — they are bound by the
+    emitted lambda itself, mirroring how ``Sum.evaluate`` shadows the
+    environment.
     """
-    return _emit(e)
+    if sum_mode not in ("loop", "closed"):
+        raise ValueError(f"unknown sum_mode {sum_mode!r}")
+    return _emit(e, sum_mode, rename)
 
 
-def _emit(e: Expr) -> str:
+def _shadowed(rename, var: str):
+    """A rename that leaves the lambda-bound summation variable alone."""
+    if rename is None:
+        return None
+
+    def shadow(name: str) -> str:
+        return name if name == var else rename(name)
+
+    return shadow
+
+
+def _emit(e: Expr, sum_mode: str, rename) -> str:
     if isinstance(e, Int):
         if e.value.denominator == 1:
             v = e.value.numerator
             return str(v) if v >= 0 else f"({v})"
         return f"Fraction({e.value.numerator}, {e.value.denominator})"
     if isinstance(e, Sym):
-        return e.name
+        return rename(e.name) if rename is not None else e.name
     if isinstance(e, Add):
-        return "(" + " + ".join(_emit(a) for a in e.args) + ")"
+        return "(" + " + ".join(_emit(a, sum_mode, rename) for a in e.args) + ")"
     if isinstance(e, Mul):
-        return "(" + " * ".join(_emit(a) for a in e.args) + ")"
+        return "(" + " * ".join(_emit(a, sum_mode, rename) for a in e.args) + ")"
     if isinstance(e, Pow):
-        return f"({_emit(e.base)} ** {e.exp})"
+        return f"({_emit(e.base, sum_mode, rename)} ** {e.exp})"
     if isinstance(e, FloorDiv):
-        return f"(({_emit(e.num)}) // ({_emit(e.den)}))"
+        return (f"(({_emit(e.num, sum_mode, rename)}) // "
+                f"({_emit(e.den, sum_mode, rename)}))")
     if isinstance(e, Max):
-        return "max(" + ", ".join(_emit(a) for a in e.args) + ")"
+        return "max(" + ", ".join(_emit(a, sum_mode, rename)
+                                  for a in e.args) + ")"
     if isinstance(e, Min):
-        return "min(" + ", ".join(_emit(a) for a in e.args) + ")"
+        return "min(" + ", ".join(_emit(a, sum_mode, rename)
+                                  for a in e.args) + ")"
     if isinstance(e, Sum):
-        body = _emit(e.body)
-        return (
-            f"_mira_sum(lambda {e.var}: {body}, {_emit(e.lo)}, {_emit(e.hi)})"
-        )
+        if sum_mode == "closed":
+            closed = _emit_sum_closed(e, sum_mode, rename)
+            if closed is not None:
+                return closed
+        body = _emit(e.body, sum_mode, _shadowed(rename, e.var))
+        lo = _emit(e.lo, sum_mode, rename)
+        hi = _emit(e.hi, sum_mode, rename)
+        return f"_mira_sum(lambda {e.var}: {body}, {lo}, {hi})"
     raise TypeError(f"cannot emit Python for {type(e).__name__}")
+
+
+def _emit_sum_closed(e: Sum, sum_mode: str, rename) -> str | None:
+    """Exact closed form of a Sum with a runtime empty-range guard, or None.
+
+    ``Sum.evaluate`` iterates ``k`` from ``ceil(lo)`` to ``floor(hi)`` and
+    an empty range contributes 0.  The emitted expression snaps the bounds
+    to that integer lattice first, applies Faulhaber only on non-empty
+    ranges (where it is exact), and returns 0 otherwise — so it agrees with
+    the interpreted Sum on every input.
+    """
+    from ..errors import SymbolicError
+    from .poly import expr_to_poly  # local import: poly imports expr only
+    from .summation import sum_poly_closed_form
+
+    body_p = expr_to_poly(e.body)
+    if body_p is None:
+        return None
+    free = e.body.free_symbols() | e.lo.free_symbols() | e.hi.free_symbols()
+    if _CF_LO in free or _CF_HI in free:  # defensive: reserved names in use
+        return None
+    try:
+        cf = sum_poly_closed_form(body_p, e.var, Sym(_CF_LO), Sym(_CF_HI))
+    except SymbolicError:
+        return None
+    inner = _shadowed(_shadowed(rename, _CF_LO), _CF_HI)
+    cf_src = _emit(cf, sum_mode, inner)
+    lo_src = _emit(e.lo, sum_mode, rename)
+    hi_src = _emit(e.hi, sum_mode, rename)
+    return (f"(lambda {_CF_LO}, {_CF_HI}: "
+            f"(_mira_exact({cf_src}) if {_CF_LO} <= {_CF_HI} else 0))"
+            f"(_mira_ceil({lo_src}), _mira_floor({hi_src}))")

@@ -9,7 +9,9 @@ into numerator/denominator.
 
 The encoding round-trips *structurally*: ``expr_from_json(expr_to_json(e))``
 rebuilds the identical tree (no re-canonicalization), so evaluation results
-are bit-for-bit identical to the original expression's.
+are bit-for-bit identical to the original expression's.  Because expression
+nodes are hash-consed (see :mod:`.expr`), the round-trip in fact returns the
+*same object*: ``expr_from_json(expr_to_json(e)) is e``.
 """
 
 from __future__ import annotations

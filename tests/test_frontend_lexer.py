@@ -132,9 +132,21 @@ class TestPreprocessor:
         out = preprocess("int a[N];", predefined={"N": "32"})
         assert "int a[32];" in out
 
-    def test_recursive_macro_guard(self):
+    def test_self_referential_macro_blue_paint(self):
+        # Standard C: a macro is not re-expanded inside its own expansion,
+        # so `#define A A` leaves the identifier alone.  The sweep engine
+        # relies on this to late-bind size macros as free model symbols.
+        out = preprocess("#define A A\nint x = A;")
+        assert "int x = A;" in out
+
+    def test_mutually_recursive_macros_terminate(self):
+        out = preprocess("#define A B\n#define B A\nint x = A;")
+        assert "int x = A;" in out
+
+    def test_deep_macro_chain_still_guarded(self):
+        defines = "\n".join(f"#define A{i} A{i + 1}" for i in range(40))
         with pytest.raises(ParseError):
-            preprocess("#define A A\nint x = A;")
+            preprocess(defines + "\nint x = A0;")
 
     def test_macro_wrong_arity(self):
         with pytest.raises(ParseError):
