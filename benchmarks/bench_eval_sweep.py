@@ -6,6 +6,10 @@ on the dgemm and stream models:
 * **per-point evaluation throughput** — interpreted ``Expr.evaluate``
   tree-walk vs closure-compiled models (``AnalysisResult.compiled``),
 * **sweep throughput** — points/second through ``AnalysisResult.sweep``,
+* **vector-engine throughput** — points/second through the columnar numpy
+  engine (``engine="vector"``) on a large int64-safe grid, against the
+  per-point scalar closures on the same model, with a sampled bit-exactness
+  check against both the closures and the interpreted tree-walk,
 * **model-construction time** — the full pipeline with expression
   hash-consing on vs off (``interning_disabled``),
 * **sweep economy** — a Fig. 7-style 5-point sweep must run the pipeline's
@@ -13,12 +17,14 @@ on the dgemm and stream models:
 
 Emits ``benchmarks/out/BENCH_eval_sweep.json`` with the machine-comparable
 numbers next to the human-readable table.  CI asserts the JSON parses, that
-compiled throughput beats interpreted, and archives the artifact.
+compiled throughput beats interpreted, that the vector engine is >= 10x the
+scalar closures with bit-identical results, and archives the artifact.
 """
 
 import json
 import os
 import time
+from fractions import Fraction
 
 from _common import (OUT_DIR, analyze_workload, rows_to_text, save_table,
                      sweep_workload)
@@ -32,6 +38,12 @@ MIN_MEASURE_SECONDS = 0.15
 
 SWEEP_SIZES = [20_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
 DGEMM_POINTS = [16, 64, 256, 1024, 4096]
+
+#: Vector-engine measurement: one columnar sweep over this many grid points
+#: (kept int64-safe so the fast path is what gets measured), against a
+#: scalar-closure sweep over a subset large enough to amortize setup.
+VECTOR_GRID_POINTS = 200_000
+SCALAR_BASELINE_POINTS = 2_000
 
 
 def _throughput(fn) -> float:
@@ -67,6 +79,49 @@ def _eval_pair(model, function, envs):
         assert model.evaluate_compiled(function, env).counts == \
             model.evaluate(function, env).counts
     return _throughput(interp), _throughput(compiled)
+
+
+def _exact(counts: dict) -> dict:
+    return {k: Fraction(v) for k, v in counts.items() if v != 0}
+
+
+def _vector_block(doc: dict, name: str, model, function: str, axis: str,
+                  lo: int, step: int = 1) -> None:
+    """Measure the columnar vector engine against the scalar closures."""
+    import numpy as np
+
+    values = np.arange(lo, lo + step * VECTOR_GRID_POINTS, step,
+                       dtype=np.int64)
+    n = len(values)
+    scalar_values = [int(v) for v in values[:SCALAR_BASELINE_POINTS]]
+
+    swept = model.sweep(function, {axis: values}, engine="vector")
+    doc.setdefault("vector_stats", {})[name] = swept.vector_stats
+
+    # bit-exactness: the speedup must not come from different answers.
+    # Sampled vector points vs the scalar closures vs the interpreted
+    # tree-walk (exact-zero categories dropped — the columnar materializer
+    # never records a category that did not execute).
+    exact = True
+    for i in (0, n // 3, n // 2, n - 1):
+        pt = swept.points[i]
+        vec = _exact(pt.metrics.counts)
+        if vec != _exact(model.evaluate_compiled(function, pt.env).counts):
+            exact = False
+        if vec != _exact(model.evaluate(function, pt.env).counts):
+            exact = False
+    doc.setdefault("vector_bit_exact", {})[name] = exact
+
+    vec_pps = _throughput(
+        lambda: model.sweep(function, {axis: values},
+                            engine="vector").fp_series()) * n
+    scal_pps = _throughput(
+        lambda: model.sweep(function, {axis: scalar_values},
+                            engine="scalar").fp_series()
+    ) * len(scalar_values)
+    doc.setdefault("vector_points_per_sec", {})[name] = vec_pps
+    doc.setdefault("scalar_points_per_sec", {})[name] = scal_pps
+    doc.setdefault("vector_speedup_vs_scalar", {})[name] = vec_pps / scal_pps
 
 
 def _construction_seconds() -> dict:
@@ -110,6 +165,7 @@ def run_bench() -> dict:
     doc["sweep_points_per_sec"]["dgemm"] = _throughput(
         lambda: dgemm.sweep("dgemm_kernel", {"n": DGEMM_POINTS})
     ) * len(DGEMM_POINTS)
+    _vector_block(doc, "dgemm", dgemm, "dgemm_kernel", "n", lo=16)
 
     # ---- stream: the size macro is late-bound by the sweep engine ---------
     before = STAGE_RUN_COUNTS["compile"]
@@ -126,6 +182,8 @@ def run_bench() -> dict:
     doc["sweep_points_per_sec"]["stream"] = _throughput(
         lambda: stream.sweep("main", {"STREAM_ARRAY_SIZE": SWEEP_SIZES})
     ) * len(SWEEP_SIZES)
+    _vector_block(doc, "stream", stream, "main", "STREAM_ARRAY_SIZE",
+                  lo=1000, step=5)
 
     doc["construction_seconds"] = _construction_seconds()
     return doc
@@ -141,6 +199,14 @@ def test_eval_sweep_bench(benchmark):
     assert doc["sweep_compile_invocations"]["dgemm"] == 0
     assert doc["sweep_compile_invocations"]["stream"] <= 1
     assert doc["sweep_mode_stream"] == "parametric"
+    # the vector engine must beat the scalar closures by >= 10x with
+    # bit-identical results, on the int64 fast path
+    for model in ("dgemm", "stream"):
+        assert doc["vector_bit_exact"][model], model
+        assert doc["vector_speedup_vs_scalar"][model] >= 10, \
+            (model, doc["vector_speedup_vs_scalar"])
+        assert doc["vector_stats"][model]["int64_chunks"] >= 1, \
+            (model, doc["vector_stats"])
 
     rows = [
         ["dgemm interpreted evals/s", f"{doc['interpreted_evals_per_sec']['dgemm']:,.0f}"],
@@ -151,6 +217,10 @@ def test_eval_sweep_bench(benchmark):
         ["stream speedup", f"{doc['speedup']['stream']:.1f}x"],
         ["dgemm sweep points/s", f"{doc['sweep_points_per_sec']['dgemm']:,.0f}"],
         ["stream sweep points/s", f"{doc['sweep_points_per_sec']['stream']:,.0f}"],
+        ["dgemm vector points/s", f"{doc['vector_points_per_sec']['dgemm']:,.0f}"],
+        ["stream vector points/s", f"{doc['vector_points_per_sec']['stream']:,.0f}"],
+        ["dgemm vector vs scalar", f"{doc['vector_speedup_vs_scalar']['dgemm']:.1f}x"],
+        ["stream vector vs scalar", f"{doc['vector_speedup_vs_scalar']['stream']:.1f}x"],
         ["sweep compiles (dgemm/stream)",
          f"{doc['sweep_compile_invocations']['dgemm']}/"
          f"{doc['sweep_compile_invocations']['stream']}"],
@@ -162,7 +232,9 @@ def test_eval_sweep_bench(benchmark):
         ["metric", "value"], rows,
         note="Compiled = closure-compiled models (hash-consed expressions, "
              "closed-form summations, integer fast path).  Sweep = one "
-             "analysis, compiled evaluation at every size."))
+             "analysis, compiled evaluation at every size.  Vector = "
+             "columnar numpy evaluation of the whole grid at once "
+             "(int64 fast path under the overflow precheck)."))
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(os.path.join(OUT_DIR, "BENCH_eval_sweep.json"), "w",
               encoding="utf-8") as fh:

@@ -12,9 +12,11 @@ Subcommands::
         emit the versioned AnalysisResult JSON with --json
     mira eval FILE FUNCTION [k=v ...]
         analyze and evaluate one function's model with parameter bindings
-    mira sweep FILE -p N=1e4..1e8 [--points K] [--function F]
+    mira sweep FILE -p N=1e4..1e8 [--points K] [--function F] [--engine E]
         evaluate a model across a parameter range; sizes are late-bound so
-        one analysis serves the whole sweep wherever the frontend allows
+        one analysis serves the whole sweep wherever the frontend allows,
+        and the grid is evaluated columnar (numpy vector engine) when the
+        model permits
     mira inspect FILE --stage STAGE
         run the pipeline only up to STAGE (parse | compile | disassemble |
         bridge | model) and report what that stage produced + wall times
@@ -184,13 +186,21 @@ def _parse_sweep_spec(spec: str, points: int) -> tuple[str, list[int]]:
                 f"mira sweep: bad range {values!r} (need 0 < lo <= hi)")
         if points < 2 or lo == hi:
             return name, [lo] if lo == hi else [lo, hi]
+        # Log-spaced candidates snap to integers, which can collide on
+        # narrow ranges and — at float-precision magnitudes — even round
+        # outside [lo, hi].  Clamp every candidate, pin both endpoints, and
+        # keep the strictly increasing subsequence (order-preserving
+        # dedupe): the result always contains lo and hi, is sorted and
+        # duplicate-free, and has at most ``points`` values.
         ratio = (hi / lo) ** (1 / (points - 1))
+        candidates = [lo]
+        candidates += [min(max(int(round(lo * ratio ** i)), lo), hi)
+                       for i in range(1, points - 1)]
+        candidates.append(hi)
         out = []
-        for i in range(points):
-            v = int(round(lo * ratio ** i))
+        for v in candidates:
             if not out or v > out[-1]:
                 out.append(v)
-        out[-1] = hi
         return name, out
     if "," in values:
         return name, [as_int(v) for v in values.split(",") if v]
@@ -206,12 +216,13 @@ def cmd_sweep(args) -> int:
         grid[name] = values
     result = sweep_source(_read(args.file), grid, function=args.function,
                           config=_config_from_args(args),
-                          filename=args.file)
+                          filename=args.file, engine=args.engine)
     if args.json:
         return _emit_json(result.to_dict())
     print(f"# sweep of {result.function} over "
           f"{', '.join(result.param_names)} "
-          f"({result.mode}, {result.analyses} analysis run(s))")
+          f"({result.mode}, {result.engine} engine, "
+          f"{result.analyses} analysis run(s))")
     header = [*result.param_names, "TOTAL", "FP_INS"]
     rows = [[str(p.env[n]) for n in result.param_names]
             + [str(p.metrics.total()),
@@ -411,9 +422,18 @@ def main(argv: list[str] | None = None) -> int:
                    help="sweep axis: N=1e4..1e8 (log-spaced), N=1,2,4, "
                         "or N=64; repeat for a grid")
     p.add_argument("--points", type=int, default=5, metavar="K",
-                   help="points per .. range (default 5)")
+                   help="up to K log-spaced integers per .. range, always "
+                        "including both endpoints; candidates that collide "
+                        "after integer rounding are dropped, so narrow "
+                        "ranges may yield fewer than K points (default 5)")
     p.add_argument("--function", default=None,
                    help="function to evaluate (default: main)")
+    p.add_argument("--engine", default="auto",
+                   choices=("auto", "vector", "scalar"),
+                   help="grid evaluation engine: vector = columnar numpy "
+                        "evaluation, scalar = one compiled-closure call "
+                        "per point, auto = vector when possible "
+                        "(default: auto)")
     common(p)
     p.set_defaults(fn=cmd_sweep)
 

@@ -359,8 +359,27 @@ def payload_from_result(config: AnalysisConfig, result: AnalysisResult,
         },
         "model_source": result.python_source(),
         "result": result.to_dict(),
+        "compiled": _compiled_artifacts(result),
         "elapsed": elapsed,
     }
+
+
+def _compiled_artifacts(result: AnalysisResult) -> dict | None:
+    """Codegen artifacts for the cache payload: generated evaluator source
+    plus metadata for both engines, so a warm hit execs the stored source
+    instead of re-deriving it from the symbolic models (``vector`` is None
+    when the models have no vector form)."""
+    from ..errors import VectorizeError
+
+    try:
+        doc = {"scalar": result.compiled().to_artifact()}
+    except (MiraError, RecursionError):
+        return None
+    try:
+        doc["vector"] = result.compiled(engine="vector").to_artifact()
+    except (VectorizeError, RecursionError):
+        doc["vector"] = None
+    return doc
 
 
 def _analyze_one(spec: dict) -> dict:
@@ -410,9 +429,12 @@ def _result_from_payload(item: BatchItem, key: str, payload: dict,
     }
     # The payload's "result" key is the versioned AnalysisResult wire
     # format: cache hits reconstruct the evaluable model from it directly —
-    # the compiler never runs on the warm path.
+    # the compiler never runs on the warm path.  Persisted codegen
+    # artifacts ride along so evaluation skips closure compilation too.
     analysis = (AnalysisResult.from_dict(payload["result"])
                 if payload.get("result") is not None else None)
+    if analysis is not None:
+        analysis.attach_compiled_artifacts(payload.get("compiled"))
     return BatchResult(name=item.name, filename=item.filename, ok=True,
                        cache_key=key, from_cache=from_cache,
                        elapsed=elapsed,

@@ -22,7 +22,8 @@ __all__ = ["ProcessedInput", "InputProcessor", "source_fingerprint"]
 # Bump when the pipeline's observable output changes shape, so stale
 # on-disk model caches self-invalidate instead of replaying old results.
 # v2: cache payloads carry the serialized AnalysisResult wire format.
-PIPELINE_VERSION = 2
+# v3: cache payloads carry compiled codegen artifacts (scalar + vector).
+PIPELINE_VERSION = 3
 
 
 def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,

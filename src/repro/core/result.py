@@ -24,7 +24,7 @@ import json
 from dataclasses import dataclass, field
 
 from ..compiler.arch import ArchDescription, default_arch
-from ..errors import ModelError, SchemaError, SymbolicError
+from ..errors import ModelError, SchemaError, SymbolicError, VectorizeError
 from ..bridge.metrics import CategoryVector
 from ..symbolic import expr_from_json, expr_to_json
 from .input_processor import ProcessedInput
@@ -95,7 +95,8 @@ class AnalysisResult:
     fingerprint: str = ""
     stage_timings: dict = field(default_factory=dict)  # stage -> seconds
     _source_cache: str | None = None
-    _compiled_cache: object = None                     # CompiledResult
+    _compiled_cache: dict | None = None                # engine -> compiled
+    _compiled_artifacts: dict | None = None            # engine -> artifact
 
     # -- evaluation ---------------------------------------------------------------
     def evaluate(self, function: str, params: dict | None = None) -> Metrics:
@@ -109,18 +110,70 @@ class AnalysisResult:
         qname = self._resolve(function)
         return evaluate_model(self.models, qname, params)
 
-    def compiled(self):
-        """The closure-compiled models (built once, cached on the result).
+    def compiled(self, *, engine: str = "scalar"):
+        """The compiled models, memoized per codegen engine.
 
-        Returns a :class:`repro.symbolic.compile.CompiledResult` whose
-        ``evaluate`` is bit-exact with :meth:`evaluate`.
+        ``engine="scalar"`` returns a
+        :class:`repro.symbolic.compile.CompiledResult` (per-point
+        closures); ``engine="vector"`` a
+        :class:`repro.symbolic.veccompile.VecCompiledResult` (numpy
+        columns) or raises :class:`~repro.errors.VectorizeError` when the
+        models have no vector form.  Either way the build happens at most
+        once per result — repeated ``.sweep()``/``mira sweep`` calls reuse
+        the cached object (a non-vectorizable verdict is cached too).
+        When a persisted codegen artifact was attached (warm
+        ``ModelCache`` hit), reconstruction execs the stored source
+        instead of re-emitting it.
         """
-        if self._compiled_cache is None:
-            from ..symbolic.compile import compile_result
+        if engine not in ("scalar", "vector"):
+            raise ModelError(f"unknown codegen engine {engine!r}")
+        cache = self._compiled_cache
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_compiled_cache", cache)
+        hit = cache.get(engine)
+        if hit is not None:
+            if isinstance(hit, Exception):
+                raise hit
+            return hit
+        artifact = (self._compiled_artifacts or {}).get(engine)
+        try:
+            compiled = self._build_compiled(engine, artifact)
+        except VectorizeError as exc:
+            cache[engine] = exc
+            raise
+        cache[engine] = compiled
+        return compiled
 
-            object.__setattr__(self, "_compiled_cache",
-                               compile_result(self.models))
-        return self._compiled_cache
+    def _build_compiled(self, engine: str, artifact: dict | None):
+        if engine == "vector":
+            from ..symbolic.veccompile import VecCompiledResult, \
+                compile_result_vector
+
+            if artifact is not None:
+                try:
+                    return VecCompiledResult.from_artifact(
+                        self.models, artifact)
+                except Exception:
+                    pass  # stale/corrupt artifact: recompile from models
+            return compile_result_vector(self.models)
+        from ..symbolic.compile import CompiledResult, compile_result
+
+        if artifact is not None:
+            try:
+                return CompiledResult.from_artifact(self.models, artifact)
+            except Exception:
+                pass
+        return compile_result(self.models)
+
+    def attach_compiled_artifacts(self, artifacts: dict | None) -> None:
+        """Attach persisted codegen artifacts (``{"scalar": ..., "vector":
+        ...}`` as produced by ``batch.payload_from_result``) so
+        :meth:`compiled` can exec stored source instead of re-emitting it.
+        Ignored when already compiled; invalid artifacts fall back to a
+        fresh compile silently."""
+        if artifacts:
+            object.__setattr__(self, "_compiled_artifacts", dict(artifacts))
 
     def evaluate_compiled(self, function: str,
                           params: dict | None = None) -> Metrics:
@@ -128,19 +181,23 @@ class AnalysisResult:
         fraction of the per-call cost."""
         return self.compiled().evaluate(self._resolve(function), params)
 
-    def sweep(self, function: str, grid, base: dict | None = None):
+    def sweep(self, function: str, grid, base: dict | None = None, *,
+              engine: str = "auto"):
         """Evaluate ``function`` at every point of a parameter grid.
 
         One compile, then microseconds per point — the paper's "analyze
         once, evaluate anywhere" promise (Fig. 7).  ``grid`` maps parameter
         names to value lists (multiple axes form their cartesian product)
         or is an explicit list of point dicts; ``base`` binds the
-        non-swept parameters.  Returns a
-        :class:`repro.core.sweep.SweepResult`.
+        non-swept parameters.  ``engine`` selects the evaluation strategy:
+        ``"vector"`` (columnar numpy evaluation), ``"scalar"`` (per-point
+        closures), or ``"auto"`` (vector when possible, scalar otherwise).
+        Returns a :class:`repro.core.sweep.SweepResult`.
         """
         from .sweep import run_model_sweep
 
-        return run_model_sweep(self, function, grid, base=base)
+        return run_model_sweep(self, function, grid, base=base,
+                               engine=engine)
 
     def parameters(self, function: str) -> list[str]:
         return self.models[self._resolve(function)].params

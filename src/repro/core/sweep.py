@@ -9,18 +9,31 @@ paper's promise:
 
 * :func:`run_model_sweep` — evaluate an existing
   :class:`~repro.core.result.AnalysisResult` at every point of a parameter
-  grid through its closure-compiled models (microseconds per point); this
-  is what ``AnalysisResult.sweep`` calls.
+  grid; this is what ``AnalysisResult.sweep`` calls.  Three engines:
+
+  - ``engine="vector"`` — columnar evaluation through the numpy
+    array-compiled models of :mod:`repro.symbolic.veccompile`: the grid is
+    expanded into parameter *columns* (never a Python dict per point),
+    evaluated in chunks on the int64 fast path when the overflow precheck
+    allows (object dtype otherwise — always bit-exact), and
+    ``SweepPoint``/``Metrics`` objects are materialized lazily on access.
+  - ``engine="scalar"`` — one closure call per grid point (PR 4 behavior).
+  - ``engine="auto"`` (default) — vector when the models and grid allow,
+    scalar otherwise.
+
 * :func:`sweep_source` — the **late-binding engine**.  It first attempts a
   *symbolic* analysis in which each swept name is predefined to itself (the
   preprocessor's blue-paint rule leaves it as a plain identifier) and
   declared as a synthetic global via ``AnalysisConfig.symbolic_params``, so
   a size macro like ``STREAM_ARRAY_SIZE`` becomes a free model symbol: one
-  pipeline run, then the whole grid is compiled evaluation.  Where the
+  pipeline run, then the whole grid is compiled evaluation.  The symbolic
+  analysis is memoized in process **and** — when the config enables caching
+  — in the batch engine's content-addressed on-disk
+  :class:`~repro.core.batch.ModelCache`, whose payloads carry the compiled
+  codegen artifacts: a warm hit restores both the model and its generated
+  evaluator source, skipping pipeline *and* closure compilation.  Where the
   frontend cannot go symbolic (e.g. the name feeds an inner array
-  dimension), it falls back to one cached analysis per point — memoized in
-  process and, when the config enables caching, shared with the batch
-  engine's content-addressed on-disk :class:`~repro.core.batch.ModelCache`.
+  dimension), it falls back to one cached analysis per point.
 
 The late-bound symbolic model is guaranteed to agree with per-point concrete
 analyses on *counting* (trip counts, FP instruction counts): a constant that
@@ -28,7 +41,7 @@ becomes a symbol only changes how the bound reaches the comparison (an
 immediate operand versus a global load), never how often anything executes.
 Integer move/compare categories at loop-condition cost centers can therefore
 differ slightly between the two modes; ``SweepResult.mode`` records which
-one produced the data.
+one produced the data, and ``SweepResult.engine`` which evaluation engine.
 """
 
 from __future__ import annotations
@@ -37,13 +50,27 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from itertools import product
 
-from ..errors import MiraError, ModelError, SchemaError
+from ..errors import MiraError, ModelError, SchemaError, VectorizeError
 from .config import AnalysisConfig
 from .pipeline import Pipeline
 from .result import RESULT_SCHEMA_VERSION, AnalysisResult
 
 __all__ = ["SweepPoint", "SweepResult", "expand_grid", "run_model_sweep",
-           "sweep_source"]
+           "sweep_source", "DEFAULT_SWEEP_CHUNK"]
+
+#: Vector-engine chunk size (points per evaluation batch).  Chunking keeps
+#: peak memory bounded and lets the int64-vs-object decision adapt to each
+#: chunk's actual value ranges.
+DEFAULT_SWEEP_CHUNK = 1 << 18
+
+
+def _pyint(x):
+    """Normalize numpy integer scalars to Python ints (exact)."""
+    if isinstance(x, (int, Fraction)):
+        return x
+    if hasattr(x, "item"):
+        return x.item()
+    return x
 
 
 # ---------------------------------------------------------------------------
@@ -55,10 +82,11 @@ def expand_grid(grid) -> tuple[tuple, list]:
 
     ``grid`` is either a mapping ``name -> value(s)`` (scalars are treated
     as one-element axes; multiple axes expand to their cartesian product in
-    row-major order) or an explicit sequence of point dicts.
+    row-major order) or an explicit sequence of point dicts.  Numpy integer
+    scalars are converted to Python ints so closure evaluation stays exact.
     """
     if isinstance(grid, (list, tuple)):
-        envs = [dict(g) for g in grid]
+        envs = [{k: _pyint(v) for k, v in g.items()} for g in grid]
         if not envs:
             raise ModelError("sweep grid has no points")
         names: list = []
@@ -77,11 +105,109 @@ def expand_grid(grid) -> tuple[tuple, list]:
         v = grid[n]
         if isinstance(v, (int, Fraction)):
             v = [v]
-        axis = list(v)
+        axis = [_pyint(x) for x in v]
         if not axis:
             raise ModelError(f"sweep axis {n!r} has no values")
         axes.append(axis)
     return names, [dict(zip(names, combo)) for combo in product(*axes)]
+
+
+class _VectorFallback(Exception):
+    """Internal: this sweep cannot use the vector engine (reason attached).
+
+    Under ``engine="auto"`` the caller silently switches to the scalar
+    engine; under ``engine="vector"`` the reason surfaces as a ModelError.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _axis_column(name: str, values, np):
+    """One grid axis as an int64 or object ndarray, exactly."""
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise _VectorFallback(f"axis {name!r} is not one-dimensional")
+        if values.dtype.kind == "f":
+            raise _VectorFallback(
+                f"axis {name!r} is float-valued; exact engines need "
+                "int/Fraction")
+        if values.dtype == object:
+            vals = list(values)
+        elif values.dtype.kind in "iu":
+            try:
+                return values.astype(np.int64, casting="safe", copy=False)
+            except TypeError:
+                vals = [int(x) for x in values]
+        else:
+            raise _VectorFallback(
+                f"axis {name!r} has unsupported dtype {values.dtype}")
+    else:
+        vals = list(values)
+    out_vals = []
+    for x in vals:
+        x = _pyint(x)
+        if isinstance(x, float):
+            raise _VectorFallback(
+                f"axis {name!r} is float-valued; exact engines need "
+                "int/Fraction")
+        if not isinstance(x, (int, Fraction)):
+            raise _VectorFallback(
+                f"axis {name!r} has non-numeric value {x!r}")
+        out_vals.append(x)
+    if not out_vals:
+        raise ModelError(f"sweep axis {name!r} has no values")
+    if all(isinstance(x, int) for x in out_vals):
+        try:
+            return np.array(out_vals, dtype=np.int64)
+        except OverflowError:
+            pass
+    col = np.empty(len(out_vals), dtype=object)
+    col[:] = out_vals
+    return col
+
+
+def _grid_columns(grid, np) -> tuple[tuple, dict, int]:
+    """Expand a grid into ``(names, {name: column}, npoints)`` without
+    building a Python dict per point.  Cartesian products are realized with
+    ``np.repeat``/``np.tile`` on whole axis arrays."""
+    if isinstance(grid, (list, tuple)):
+        if not grid:
+            raise ModelError("sweep grid has no points")
+        envs = [dict(g) for g in grid]
+        names = tuple(envs[0].keys())
+        for g in envs:
+            if tuple(g.keys()) != names:
+                raise _VectorFallback(
+                    "explicit point list has heterogeneous keys")
+        cols = {n: _axis_column(n, [g[n] for g in envs], np) for n in names}
+        return names, cols, len(envs)
+    if not isinstance(grid, dict) or not grid:
+        raise ModelError(
+            "sweep grid must be a non-empty mapping of parameter values "
+            "or a sequence of point dicts")
+    names = tuple(grid.keys())
+    arrays = []
+    for n in names:
+        v = grid[n]
+        if isinstance(v, (int, Fraction)):
+            v = [v]
+        arrays.append(_axis_column(n, v, np))
+    npoints = 1
+    for a in arrays:
+        npoints *= len(a)
+    cols = {}
+    inner = npoints
+    outer = 1
+    for n, a in zip(names, arrays):
+        inner //= len(a)
+        col = np.repeat(a, inner)
+        if outer > 1:
+            col = np.tile(col, outer)
+        cols[n] = col
+        outer *= len(a)
+    return names, cols, npoints
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +222,65 @@ class SweepPoint:
     metrics: object  # Metrics
 
 
+def _exact_value(v):
+    """Columnar cell -> exact Python number (int64 scalar, int, Fraction)."""
+    if type(v) is int:
+        return v
+    if isinstance(v, Fraction):
+        return v.numerator if v.denominator == 1 else v
+    if hasattr(v, "item"):
+        return v.item()
+    return v
+
+
+class _ColumnarPoints:
+    """Lazy ``SweepPoint`` sequence over columnar sweep output.
+
+    Nothing is materialized until accessed; iterating the whole sequence
+    builds one ``SweepPoint`` + ``Metrics`` per step, with values identical
+    to what the scalar engine would have produced (exact ints/Fractions;
+    exact-zero categories are dropped, matching ``Metrics.add``'s
+    ``times == 0`` skip)."""
+
+    __slots__ = ("names", "param_cols", "cat_cols", "n")
+
+    def __init__(self, names: tuple, param_cols: dict, cat_cols: dict,
+                 n: int) -> None:
+        self.names = names
+        self.param_cols = param_cols
+        self.cat_cols = cat_cols
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def _point(self, i: int) -> SweepPoint:
+        from .model_runtime import Metrics
+
+        env = {name: _exact_value(col[i])
+               for name, col in self.param_cols.items()}
+        m = Metrics()
+        counts = m.counts
+        for cat, col in self.cat_cols.items():
+            v = _exact_value(col[i])
+            if v:
+                counts[cat] = v
+        return SweepPoint(env=env, metrics=m)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._point(j) for j in range(*i.indices(self.n))]
+        if i < 0:
+            i += self.n
+        if not 0 <= i < self.n:
+            raise IndexError("sweep point index out of range")
+        return self._point(i)
+
+    def __iter__(self):
+        for i in range(self.n):
+            yield self._point(i)
+
+
 @dataclass
 class SweepResult:
     """The product of a sweep: per-point metrics plus provenance.
@@ -104,15 +289,22 @@ class SweepResult:
     the grid — the paper's promise) or ``"per-point"`` (one cached analysis
     per grid point — the fallback).  ``analyses`` counts how many pipeline
     runs the sweep actually consumed; a warm parametric sweep reports 0.
+    ``engine`` records the evaluation engine (``"vector"`` or
+    ``"scalar"``); vector sweeps keep their per-category count columns and
+    materialize ``points`` lazily, with ``vector_stats`` counting how many
+    chunks ran in int64 versus object dtype.
     """
 
     function: str                 # resolved qualified name
     param_names: tuple
-    points: list = field(default_factory=list)
+    points: object = field(default_factory=list)
     mode: str = "parametric"
     analyses: int = 0
     fp_categories: tuple = ()
     analysis: AnalysisResult | None = None   # the parametric result, if any
+    engine: str = "scalar"
+    vector_stats: dict = field(default_factory=dict)
+    _columns: dict | None = None             # category -> count column
 
     def __len__(self) -> int:
         return len(self.points)
@@ -120,12 +312,49 @@ class SweepResult:
     def __iter__(self):
         return iter(self.points)
 
+    def _column_series(self, cats) -> list[int] | None:
+        """Rounded per-point sums over ``cats`` straight from the columns."""
+        if self._columns is None:
+            return None
+        cols = [self._columns[c] for c in cats if c in self._columns]
+        n = len(self.points)
+        if not cols:
+            return [0] * n
+        int_cols = [c for c in cols
+                    if getattr(c, "dtype", None) is not None
+                    and c.dtype != object]
+        if len(int_cols) == len(cols):
+            # all-int64: safe to sum in int64 when the column ranges leave
+            # headroom for the cross-category accumulation
+            limit = (2 ** 63 - 1) // len(cols)
+            if all(-limit <= int(c.min()) and int(c.max()) <= limit
+                   for c in cols):
+                acc = cols[0].copy()
+                for c in cols[1:]:
+                    acc += c
+                return acc.tolist()
+        out = []
+        for i in range(n):
+            s = 0
+            for c in cols:
+                v = _exact_value(c[i])
+                s += v if type(v) is int else int(round(v))
+            out.append(s)
+        return out
+
     def fp_series(self) -> list[int]:
         """FP instruction count at every grid point, in grid order."""
+        fast = self._column_series(self.fp_categories)
+        if fast is not None:
+            return fast
         return [p.metrics.fp_instructions(self.fp_categories)
                 for p in self.points]
 
     def totals(self) -> list[int]:
+        fast = (self._column_series(tuple(self._columns))
+                if self._columns is not None else None)
+        if fast is not None:
+            return fast
         return [p.metrics.total() for p in self.points]
 
     def to_dict(self) -> dict:
@@ -137,6 +366,7 @@ class SweepResult:
             "kind": "SweepResult",
             "function": self.function,
             "mode": self.mode,
+            "engine": self.engine,
             "analyses": self.analyses,
             "params": list(self.param_names),
             "points": [
@@ -153,16 +383,108 @@ class SweepResult:
 # model-level sweep (AnalysisResult.sweep)
 # ---------------------------------------------------------------------------
 
+def _to_object_col(col, np):
+    if isinstance(col, np.ndarray) and col.dtype == object:
+        return col
+    return col.astype(object)
+
+
+def _run_vector_sweep(result: AnalysisResult, qname: str, grid,
+                      base: dict | None, mode: str, analyses: int,
+                      chunk: int) -> SweepResult:
+    """Columnar evaluation; raises _VectorFallback when unavailable."""
+    try:
+        from ..symbolic.veccompile import HAVE_NUMPY, np
+    except Exception as exc:  # pragma: no cover - defensive
+        raise _VectorFallback(f"vector runtime unavailable: {exc}") from exc
+    if not HAVE_NUMPY:
+        raise _VectorFallback("numpy is not available")
+    try:
+        vec = result.compiled(engine="vector")
+    except VectorizeError as exc:
+        raise _VectorFallback(str(exc)) from exc
+
+    names, cols, npoints = _grid_columns(grid, np)
+    base_env = {k: _pyint(v) for k, v in (base or {}).items()}
+    for k, v in base_env.items():
+        if isinstance(v, float):
+            # the scalar engine decides float semantics (SymbolicError when
+            # the binding is actually a model parameter, ignored otherwise)
+            raise _VectorFallback(f"base binding {k!r} is float-valued")
+
+    stats = {"chunks": 0, "int64_chunks": 0, "object_chunks": 0}
+    parts: list[dict] = []
+    base_is_int = all(isinstance(v, int) for v in base_env.values())
+    for start in range(0, npoints, chunk):
+        sub = {n: c[start:start + chunk] for n, c in cols.items()}
+        n_sub = min(chunk, npoints - start)
+        use_int64 = (vec.int64_capable and base_is_int and
+                     all(c.dtype != object for c in sub.values()))
+        if use_int64:
+            ivs = {n: (Fraction(int(c.min())), Fraction(int(c.max())))
+                   for n, c in sub.items()}
+            for k, v in base_env.items():
+                ivs[k] = (Fraction(v), Fraction(v))
+            use_int64 = vec.int64_safe(qname, ivs)
+        cats = None
+        if use_int64:
+            env = dict(base_env)
+            env.update(sub)
+            try:
+                cats = vec.evaluate_grid(qname, env, n_sub,
+                                         guard_divide=True)
+            except FloatingPointError:
+                cats = None  # int64 division by zero: redo exactly
+        if cats is None:
+            env = dict(base_env)
+            for n, c in sub.items():
+                env[n] = _to_object_col(c, np)
+            cats = vec.evaluate_grid(qname, env, n_sub)
+            stats["object_chunks"] += 1
+        else:
+            stats["int64_chunks"] += 1
+        stats["chunks"] += 1
+        parts.append(cats)
+
+    if len(parts) == 1:
+        cat_cols = parts[0]
+    else:
+        cat_cols = {cat: np.concatenate([p[cat] for p in parts])
+                    for cat in parts[0]}
+    points = _ColumnarPoints(names, cols, cat_cols, npoints)
+    return SweepResult(function=qname, param_names=names, points=points,
+                       mode=mode, analyses=analyses,
+                       fp_categories=tuple(result.arch.fp_arith_categories),
+                       analysis=result, engine="vector",
+                       vector_stats=stats, _columns=cat_cols)
+
+
 def run_model_sweep(result: AnalysisResult, function: str, grid,
                     base: dict | None = None, *, mode: str = "parametric",
-                    analyses: int = 0) -> SweepResult:
+                    analyses: int = 0, engine: str = "auto",
+                    chunk: int = DEFAULT_SWEEP_CHUNK) -> SweepResult:
     """Evaluate ``result``'s model of ``function`` at every grid point.
 
-    Uses the closure-compiled models (built once, cached on the result), so
-    additional points cost microseconds.  ``base`` supplies bindings for
-    model parameters that are not being swept.
+    ``engine="vector"`` evaluates the grid columnar through the numpy
+    array-compiled models (errors out when that is impossible);
+    ``engine="scalar"`` calls the closure-compiled model once per point;
+    ``engine="auto"`` picks vector when available.  All engines produce
+    ``Fraction``-identical metrics.  ``base`` supplies bindings for model
+    parameters that are not being swept.
     """
+    if engine not in ("auto", "vector", "scalar"):
+        raise ModelError(f"unknown sweep engine {engine!r}; "
+                         "expected auto, vector, or scalar")
     qname = result._resolve(function)
+    if engine != "scalar":
+        try:
+            return _run_vector_sweep(result, qname, grid, base, mode,
+                                     analyses, chunk)
+        except _VectorFallback as exc:
+            if engine == "vector":
+                raise ModelError(
+                    f"vector engine cannot evaluate this sweep: "
+                    f"{exc.reason}") from exc
     names, envs = expand_grid(grid)
     compiled = result.compiled()
     points = []
@@ -174,7 +496,7 @@ def run_model_sweep(result: AnalysisResult, function: str, grid,
     return SweepResult(function=qname, param_names=names, points=points,
                        mode=mode, analyses=analyses,
                        fp_categories=tuple(result.arch.fp_arith_categories),
-                       analysis=result)
+                       analysis=result, engine="scalar")
 
 
 # ---------------------------------------------------------------------------
@@ -202,14 +524,28 @@ def _resolve_function(result: AnalysisResult, function: str | None):
         return None
 
 
+def _restore_cached(payload) -> AnalysisResult | None:
+    """AnalysisResult from a ModelCache payload, compiled artifacts attached."""
+    if not (payload and payload.get("ok") and payload.get("result")):
+        return None
+    try:
+        res = AnalysisResult.from_dict(payload["result"])
+    except SchemaError:
+        return None
+    res.attach_compiled_artifacts(payload.get("compiled"))
+    return res
+
+
 def _try_symbolic_analysis(source: str, names: tuple,
                            config: AnalysisConfig,
                            filename: str) -> tuple[AnalysisResult | None, int]:
     """One pipeline run with every swept name late-bound.
 
     Returns ``(result, analyses)`` where ``analyses`` is the number of
-    pipeline runs actually consumed (0 on a memo hit, so warm sweeps report
-    their true cost), or ``(None, 0)`` when late binding is impossible.
+    pipeline runs actually consumed (0 on a memo or disk-cache hit, so warm
+    sweeps report their true cost), or ``(None, 0)`` when late binding is
+    impossible.  Disk-cache hits restore the persisted codegen artifacts,
+    so a warm sweep skips closure compilation too.
     """
     keep = tuple((k, v) for k, v in config.predefined if k not in names)
     sym_cfg = config.with_changes(
@@ -219,11 +555,21 @@ def _try_symbolic_analysis(source: str, names: tuple,
     hit = _ANALYSIS_MEMO.get(key)
     if hit is not None:
         return hit, 0
+    cache = _disk_cache(config)
+    if cache is not None:
+        res = _restore_cached(cache.get(key))
+        if res is not None:
+            _memo_put(key, res)
+            return res, 0
     try:
         result = Pipeline(sym_cfg).run(source, filename=filename)
     except MiraError:
         return None, 0
     _memo_put(key, result)
+    if cache is not None:
+        from .batch import payload_from_result
+
+        cache.put(key, payload_from_result(sym_cfg, result, filename, 0.0))
     return result, 1
 
 
@@ -238,7 +584,8 @@ def _disk_cache(config: AnalysisConfig):
 def sweep_source(source: str, grid, *, function: str | None = None,
                  config: AnalysisConfig | None = None,
                  filename: str = "<input>",
-                 base: dict | None = None) -> SweepResult:
+                 base: dict | None = None,
+                 engine: str = "auto") -> SweepResult:
     """Sweep a source file across a parameter grid with one analysis if the
     frontend allows, one *cached* analysis per point otherwise.
 
@@ -246,6 +593,9 @@ def sweep_source(source: str, grid, *, function: str | None = None,
     macros (``STREAM_ARRAY_SIZE``), or a mix; the late-binding attempt
     handles the first two uniformly (a self-referential predefine is a
     no-op for a non-macro name) and the fallback covers the rest.
+    ``engine`` selects the grid evaluation engine for the parametric path
+    (see :func:`run_model_sweep`); the per-point fallback is scalar by
+    construction (each point is its own analysis).
     """
     config = config or AnalysisConfig()
     names, envs = expand_grid(grid)
@@ -257,8 +607,9 @@ def sweep_source(source: str, grid, *, function: str | None = None,
         qname = _resolve_function(symbolic, function)
         if qname is not None and \
                 set(names) <= set(symbolic.parameters(qname)):
-            return run_model_sweep(symbolic, qname, envs, base=base,
-                                   mode="parametric", analyses=sym_analyses)
+            return run_model_sweep(symbolic, qname, grid, base=base,
+                                   mode="parametric", analyses=sym_analyses,
+                                   engine=engine)
 
     # ---- fallback: one analysis per point, memoized + disk-cached ----
     cache = _disk_cache(config)
@@ -274,12 +625,7 @@ def sweep_source(source: str, grid, *, function: str | None = None,
         key = pcfg.fingerprint(source, filename=filename)
         res = _ANALYSIS_MEMO.get(key)
         if res is None and cache is not None:
-            payload = cache.get(key)
-            if payload and payload.get("ok") and payload.get("result"):
-                try:
-                    res = AnalysisResult.from_dict(payload["result"])
-                except SchemaError:
-                    res = None
+            res = _restore_cached(cache.get(key))
             if res is not None:
                 _memo_put(key, res)
         if res is None:
@@ -302,4 +648,5 @@ def sweep_source(source: str, grid, *, function: str | None = None,
                                  metrics=res.evaluate(qname, eval_env)))
     return SweepResult(function=qname_out, param_names=names, points=points,
                        mode="per-point", analyses=analyses,
-                       fp_categories=fp_categories, analysis=None)
+                       fp_categories=fp_categories, analysis=None,
+                       engine="scalar")

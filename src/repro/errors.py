@@ -62,6 +62,16 @@ class ModelError(MiraError):
     """Raised during model generation or model evaluation."""
 
 
+class VectorizeError(MiraError):
+    """Raised when an expression or model cannot be compiled into an
+    array-vectorized (numpy) evaluator — non-polynomial summation bodies,
+    reserved-name collisions, or numpy being unavailable.
+
+    The sweep engine's ``engine="auto"`` path treats this as a signal to
+    fall back to the scalar closure engine; it only escapes to the user
+    when ``engine="vector"`` was explicitly requested."""
+
+
 class PipelineError(MiraError):
     """Raised by the staged analysis pipeline (unknown stage, artifact
     requested from a stage that has not run)."""

@@ -3,19 +3,29 @@
 See :mod:`repro.symbolic.expr` for the expression nodes,
 :mod:`repro.symbolic.poly` for polynomial canonicalization and Faulhaber
 power sums, :mod:`repro.symbolic.summation` for symbolic summation, and
-:mod:`repro.symbolic.pycodegen` for Python code emission, and
-:mod:`repro.symbolic.compile` for closure-compiled evaluation.
+:mod:`repro.symbolic.pycodegen` for Python code emission,
+:mod:`repro.symbolic.compile` for closure-compiled evaluation, and
+:mod:`repro.symbolic.veccompile` for numpy array-vectorized evaluation.
 
 Expression identity is canonical: nodes are hash-consed, so structurally
 equal expressions are the same object (see :mod:`repro.symbolic.expr`).
 """
 
 from .compile import (
+    CODEGEN_COUNTS,
     CompiledExpr,
     CompiledResult,
     compile_expr,
     compile_function_model,
     compile_result,
+    reset_codegen_counters,
+)
+from .veccompile import (
+    HAVE_NUMPY,
+    VecCompiledExpr,
+    VecCompiledResult,
+    compile_expr_vector,
+    compile_result_vector,
 )
 from .expr import (
     Add,
@@ -33,18 +43,25 @@ from .expr import (
     as_expr,
 )
 from .poly import Polynomial, expr_to_poly, power_sum_poly
-from .pycodegen import expr_to_python
+from .pycodegen import expr_to_numpy, expr_to_python
 from .serialize import expr_from_json, expr_to_json
 from .summation import range_size, sum_expr, sum_poly_closed_form
 
 __all__ = [
     "Add",
+    "CODEGEN_COUNTS",
     "CompiledExpr",
     "CompiledResult",
     "Expr",
+    "HAVE_NUMPY",
+    "VecCompiledExpr",
+    "VecCompiledResult",
     "compile_expr",
+    "compile_expr_vector",
     "compile_function_model",
     "compile_result",
+    "compile_result_vector",
+    "reset_codegen_counters",
     "FloorDiv",
     "Int",
     "Max",
@@ -59,6 +76,7 @@ __all__ = [
     "as_expr",
     "expr_from_json",
     "expr_to_json",
+    "expr_to_numpy",
     "expr_to_poly",
     "expr_to_python",
     "power_sum_poly",

@@ -27,14 +27,28 @@ Entry points: :func:`compile_expr` for a single :class:`~.expr.Expr`,
 
 from __future__ import annotations
 
+from collections import Counter
 from fractions import Fraction
 
-from ..errors import ModelError, SymbolicError
+from ..errors import ModelError, SchemaError, SymbolicError
 from .expr import Expr
 from .pycodegen import expr_to_python
 
-__all__ = ["CompiledExpr", "CompiledResult", "compile_expr",
-           "compile_function_model", "compile_result"]
+__all__ = ["CODEGEN_COUNTS", "CompiledExpr", "CompiledResult", "compile_expr",
+           "compile_function_model", "compile_result",
+           "reset_codegen_counters"]
+
+#: Observability counters for codegen work, keyed ``"<engine>_emit"`` (source
+#: was generated from the symbolic models) and ``"<engine>_exec"`` (generated
+#: source was exec'd into closures).  A warm cache hit restored from a
+#: persisted artifact execs without emitting; tests and the benchmark assert
+#: on exactly that distinction.
+CODEGEN_COUNTS: Counter = Counter()
+
+
+def reset_codegen_counters() -> None:
+    """Zero :data:`CODEGEN_COUNTS` (test/benchmark isolation)."""
+    CODEGEN_COUNTS.clear()
 
 
 def _mangle(name: str) -> str:
@@ -242,22 +256,53 @@ class CompiledResult:
     thousands of parameter points.
     """
 
-    __slots__ = ("models", "source", "_fns")
+    __slots__ = ("models", "source", "_fns", "_consts", "_name_map", "_order")
 
-    def __init__(self, models: dict) -> None:
+    def __init__(self, models: dict, *, _artifact: dict | None = None) -> None:
         self.models = models
-        order = _emit_order(models)
-        name_map = {q: f"_mira_fn_{i}" for i, q in enumerate(order)}
-        consts: dict = {}
-        lines: list[str] = []
-        for q in order:
-            _emit_model_function(lines, consts, models[q], models,
-                                 name_map[q], name_map)
-        self.source = "\n".join(lines)
+        if _artifact is None:
+            order = _emit_order(models)
+            name_map = {q: f"_mira_fn_{i}" for i, q in enumerate(order)}
+            consts: dict = {}
+            lines: list[str] = []
+            for q in order:
+                _emit_model_function(lines, consts, models[q], models,
+                                     name_map[q], name_map)
+            self.source = "\n".join(lines)
+            CODEGEN_COUNTS["scalar_emit"] += 1
+        else:
+            order = list(_artifact["order"])
+            name_map = dict(_artifact["names"])
+            consts = dict(_artifact["consts"])
+            if set(order) != set(models) or set(name_map) != set(models):
+                raise SchemaError(
+                    "compiled artifact does not match the model set")
+            self.source = _artifact["source"]
+        self._order = order
+        self._name_map = name_map
+        self._consts = consts
         ns = _runtime_namespace()
         ns.update(consts)
         exec(compile(self.source, "<mira-compiled-result>", "exec"), ns)
         self._fns = {q: ns[name_map[q]] for q in order}
+        CODEGEN_COUNTS["scalar_exec"] += 1
+
+    def to_artifact(self) -> dict:
+        """JSON-serializable codegen artifact: exec-only reconstruction via
+        :meth:`from_artifact` skips re-deriving source from the symbolic
+        models (the expensive half of compilation)."""
+        return {
+            "source": self.source,
+            "order": list(self._order),
+            "names": dict(self._name_map),
+            "consts": {k: dict(v) for k, v in self._consts.items()},
+        }
+
+    @classmethod
+    def from_artifact(cls, models: dict, artifact: dict) -> "CompiledResult":
+        """Rebuild from a :meth:`to_artifact` payload; raises
+        :class:`~repro.errors.SchemaError` on a mismatched model set."""
+        return cls(models, _artifact=artifact)
 
     def evaluate(self, qname: str, params=None):
         """Evaluate one function's compiled model; returns ``Metrics``."""

@@ -15,7 +15,7 @@ from typing import Mapping, Optional
 
 from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
 
-__all__ = ["interval_eval", "Interval"]
+__all__ = ["interval_eval", "interval_eval_within", "Interval"]
 
 Interval = tuple  # (Fraction lo, Fraction hi)
 
@@ -95,4 +95,111 @@ def interval_eval(e: Expr, env: Mapping[str, Interval]) -> Optional[Interval]:
         return (min(los), min(his))
     if isinstance(e, Sum):
         return None  # not needed; lazy sums already evaluate exactly
+    return None
+
+
+def interval_eval_within(e: Expr, env: Mapping[str, Interval],
+                         bound, *, lower_sum=None) -> Optional[Interval]:
+    """Interval of ``e`` with an *every-intermediate-value* magnitude check.
+
+    Like :func:`interval_eval`, but returns None unless the interval of
+    **every** node — including each left-to-right partial accumulation of
+    n-ary ``Add``/``Mul``/``Pow`` chains, which is how the vector engine's
+    emitted code actually computes them — fits in ``[-bound, bound]``.
+    This is the int64 overflow precheck for
+    :mod:`repro.symbolic.veccompile`: numpy int64 multiplication wraps
+    *silently*, so the only safe strategy is proving in advance that no
+    intermediate can leave the representable range.
+
+    ``lower_sum``, when given, maps a ``Sum`` node to the lowered integer
+    expression its vector closed form computes (see
+    :func:`~.pycodegen.expr_to_numpy`); the lowered expression is checked
+    recursively and the result is widened with 0, because the emitted
+    ``_vwhere`` mask evaluates the closed form even on empty-range points.
+    A ``Sum`` with no lowering — or any unknown symbol — yields None.
+    """
+    iv = _iv_within(e, env, bound, lower_sum)
+    return iv
+
+
+def _fits(iv: Optional[Interval], bound) -> Optional[Interval]:
+    if iv is None or iv[0] < -bound or iv[1] > bound:
+        return None
+    return iv
+
+
+def _iv_within(e: Expr, env, bound, lower_sum) -> Optional[Interval]:
+    if isinstance(e, Int):
+        return _fits((e.value, e.value), bound)
+    if isinstance(e, Sym):
+        return _fits(env.get(e.name), bound)
+    if isinstance(e, Add):
+        acc: Optional[Interval] = None
+        for a in e.args:
+            iv = _iv_within(a, env, bound, lower_sum)
+            if iv is None:
+                return None
+            acc = iv if acc is None else _fits(
+                (acc[0] + iv[0], acc[1] + iv[1]), bound)
+            if acc is None:
+                return None
+        return acc
+    if isinstance(e, Mul):
+        acc = None
+        for a in e.args:
+            iv = _iv_within(a, env, bound, lower_sum)
+            if iv is None:
+                return None
+            acc = iv if acc is None else _fits(_mul_iv(acc, iv), bound)
+            if acc is None:
+                return None
+        return acc
+    if isinstance(e, Pow):
+        base = _iv_within(e.base, env, bound, lower_sum)
+        if base is None:
+            return None
+        # numpy ** is repeated squaring, but bounding the naive product
+        # chain also bounds every square-and-multiply intermediate: each is
+        # base**k for some k <= exp, and |base**k| <= max over the chain.
+        acc = base
+        for _ in range(e.exp - 1):
+            acc = _fits(_mul_iv(acc, base), bound)
+            if acc is None:
+                return None
+        if e.exp % 2 == 0 and base[0] < 0 < base[1]:
+            acc = (Fraction(0), acc[1])
+        if e.exp == 0:
+            acc = (Fraction(1), Fraction(1))
+        return acc
+    if isinstance(e, FloorDiv):
+        num = _iv_within(e.num, env, bound, lower_sum)
+        den = _iv_within(e.den, env, bound, lower_sum)
+        if num is None or den is None:
+            return None
+        if den[0] <= 0 <= den[1]:
+            return None  # may divide by zero: let the scalar engine raise
+        corners = [_floor(num[i] / den[j]) for i in (0, 1) for j in (0, 1)]
+        return _fits((min(corners), max(corners)), bound)
+    if isinstance(e, Max) or isinstance(e, Min):
+        los = []
+        his = []
+        for a in e.args:
+            iv = _iv_within(a, env, bound, lower_sum)
+            if iv is None:
+                return None
+            los.append(iv[0])
+            his.append(iv[1])
+        pick = max if isinstance(e, Max) else min
+        return (pick(los), pick(his))
+    if isinstance(e, Sum):
+        if lower_sum is None:
+            return None
+        lowered = lower_sum(e)
+        if lowered is None:
+            return None
+        iv = _iv_within(lowered, env, bound, lower_sum)
+        if iv is None:
+            return None
+        # the emitted _vwhere mask replaces empty ranges with 0
+        return (min(iv[0], Fraction(0)), max(iv[1], Fraction(0)))
     return None

@@ -20,9 +20,11 @@ Two rendering modes exist for ``Sum`` nodes:
 
 from __future__ import annotations
 
+from math import lcm
+
 from .expr import Add, Expr, FloorDiv, Int, Max, Min, Mul, Pow, Sum, Sym
 
-__all__ = ["expr_to_python"]
+__all__ = ["expr_to_python", "expr_to_numpy"]
 
 #: Reserved identifiers for the closed-form guard lambda.
 _CF_LO = "_mira_lo"
@@ -125,3 +127,125 @@ def _emit_sum_closed(e: Sum, sum_mode: str, rename) -> str | None:
     return (f"(lambda {_CF_LO}, {_CF_HI}: "
             f"(_mira_exact({cf_src}) if {_CF_LO} <= {_CF_HI} else 0))"
             f"(_mira_ceil({lo_src}), _mira_floor({hi_src}))")
+
+
+# ---------------------------------------------------------------------------
+# vector (numpy) emission — shared by symbolic.veccompile
+# ---------------------------------------------------------------------------
+#
+# The vector renderer mirrors _emit node for node, but targets elementwise
+# numpy semantics: ``max``/``min`` become ``_vmax``/``_vmin`` (reductions of
+# ``np.maximum``/``np.minimum``), the closed-form Sum guard becomes a
+# ``_vwhere`` mask instead of a conditional, and ``Sum`` nodes *must* lower
+# to a Faulhaber closed form — there is no per-element loop fallback, so a
+# non-polynomial body raises :class:`~repro.errors.VectorizeError`.
+#
+# int64 discipline: when the body of a Sum has integer coefficients, its
+# closed form is emitted as ``((D * cf) // D)`` where ``D`` is the lcm of
+# the closed form's coefficient denominators.  The true sum of an integer
+# polynomial over an integer range is an integer, and Faulhaber polynomials
+# are integer-valued at every integer point (including the masked lo > hi
+# region), so the scaled numerator is divisible by ``D`` and the floor-div
+# is exact — no Fraction ever appears, keeping the whole model on the int64
+# fast path.  Emission tracks whether any ``Fraction`` literal was needed;
+# if so the model set is only evaluable in object dtype.
+
+def expr_to_numpy(e: Expr, *, rename=None, sum_lower=None) -> tuple:
+    """Render ``e`` as a numpy-elementwise Python expression string.
+
+    Returns ``(source, uses_fraction)``.  The source assumes the
+    ``_vmax``/``_vmin``/``_vwhere``/``_vceil``/``_vfloor`` helpers from
+    :mod:`repro.symbolic.veccompile` plus ``Fraction`` are in scope; free
+    symbols (after ``rename``) are expected to be bound to numpy arrays or
+    scalars of identical length.
+
+    ``sum_lower``, when a dict, is populated with one entry per ``Sum``
+    node encountered: ``sum_lower[sum_node]`` is an :class:`Expr` over the
+    Sum's free symbols whose magnitude bounds every intermediate value the
+    emitted closed form computes (the scaled ``D * cf`` numerator with the
+    actual bounds substituted in).  The overflow prechecker walks these in
+    interval arithmetic instead of re-deriving the lowering.
+
+    Raises :class:`~repro.errors.VectorizeError` when a ``Sum`` body is not
+    polynomial in its loop variable or uses reserved bound names.
+    """
+    ctx = {"frac": False, "sum_lower": sum_lower}
+    src = _emit_np(e, rename, ctx)
+    return src, ctx["frac"]
+
+
+def _emit_np(e: Expr, rename, ctx: dict) -> str:
+    from ..errors import VectorizeError
+
+    if isinstance(e, Int):
+        if e.value.denominator == 1:
+            v = e.value.numerator
+            return str(v) if v >= 0 else f"({v})"
+        ctx["frac"] = True
+        return f"Fraction({e.value.numerator}, {e.value.denominator})"
+    if isinstance(e, Sym):
+        return rename(e.name) if rename is not None else e.name
+    if isinstance(e, Add):
+        return "(" + " + ".join(_emit_np(a, rename, ctx) for a in e.args) + ")"
+    if isinstance(e, Mul):
+        return "(" + " * ".join(_emit_np(a, rename, ctx) for a in e.args) + ")"
+    if isinstance(e, Pow):
+        return f"({_emit_np(e.base, rename, ctx)} ** {e.exp})"
+    if isinstance(e, FloorDiv):
+        return (f"(({_emit_np(e.num, rename, ctx)}) // "
+                f"({_emit_np(e.den, rename, ctx)}))")
+    if isinstance(e, Max):
+        return "_vmax(" + ", ".join(_emit_np(a, rename, ctx)
+                                    for a in e.args) + ")"
+    if isinstance(e, Min):
+        return "_vmin(" + ", ".join(_emit_np(a, rename, ctx)
+                                    for a in e.args) + ")"
+    if isinstance(e, Sum):
+        return _emit_np_sum(e, rename, ctx)
+    raise VectorizeError(f"cannot vectorize {type(e).__name__} node")
+
+
+def _emit_np_sum(e: Sum, rename, ctx: dict) -> str:
+    from ..errors import SymbolicError, VectorizeError
+    from .expr import as_expr
+    from .poly import expr_to_poly
+    from .summation import sum_poly_closed_form
+
+    body_p = expr_to_poly(e.body)
+    if body_p is None:
+        raise VectorizeError(
+            f"Sum over {e.var!r} has a non-polynomial body; "
+            "no vector closed form (use the scalar engine)")
+    free = e.body.free_symbols() | e.lo.free_symbols() | e.hi.free_symbols()
+    if _CF_LO in free or _CF_HI in free:
+        raise VectorizeError(
+            f"Sum uses reserved bound name {_CF_LO!r}/{_CF_HI!r}")
+    try:
+        cf = sum_poly_closed_form(body_p, e.var, Sym(_CF_LO), Sym(_CF_HI))
+    except SymbolicError as exc:
+        raise VectorizeError(f"Sum closed form failed: {exc}") from exc
+
+    int_body = all(c.denominator == 1 for c in body_p.terms.values())
+    inner = _shadowed(_shadowed(rename, _CF_LO), _CF_HI)
+    if int_body:
+        cf_p = expr_to_poly(cf)
+        denoms = ([c.denominator for c in cf_p.terms.values()]
+                  if cf_p is not None else [1])
+        d = lcm(*denoms) if denoms else 1
+        if d == 1:
+            check_expr = cf
+            cf_src = _emit_np(cf, inner, ctx)
+        else:
+            scaled = as_expr(d) * cf
+            check_expr = scaled
+            cf_src = f"(({_emit_np(scaled, inner, ctx)}) // {d})"
+    else:
+        check_expr = cf
+        cf_src = _emit_np(cf, inner, ctx)
+    if ctx["sum_lower"] is not None:
+        ctx["sum_lower"][e] = check_expr.subs({_CF_LO: e.lo, _CF_HI: e.hi})
+    lo_src = _emit_np(e.lo, rename, ctx)
+    hi_src = _emit_np(e.hi, rename, ctx)
+    return (f"(lambda {_CF_LO}, {_CF_HI}: "
+            f"_vwhere({_CF_LO} <= {_CF_HI}, {cf_src}, 0))"
+            f"(_vceil({lo_src}), _vfloor({hi_src}))")

@@ -1,0 +1,563 @@
+"""Array-vectorized compilation of symbolic expressions and model sets.
+
+Where :mod:`.compile` turns an analysis into per-point Python closures,
+this module turns it into functions over **numpy arrays** of parameter
+values: a million-point sweep becomes a handful of ufunc operations per
+cost-center term instead of a million closure calls.  The emission
+machinery is shared with :mod:`.pycodegen` (``expr_to_numpy``), including
+the Faulhaber closed forms for polynomial-body ``Sum`` nodes — which
+vectorize trivially, as pure arithmetic under a ``np.where`` empty-range
+mask.
+
+Exactness contract — the dtype discipline
+-----------------------------------------
+
+Every count produced here is bit-exact with ``Expr.evaluate`` /
+``evaluate_model``.  That is achieved with two evaluation modes and a
+strict fallback ladder:
+
+* **int64 mode** (the fast path).  Available only when emission needed no
+  ``Fraction`` literal anywhere in the model set (``int64_capable``) *and*
+  the caller proves, for the concrete parameter ranges at hand, that no
+  intermediate value can leave ``[-(2^63-1), 2^63-1]``.  The proof is
+  :meth:`VecCompiledResult.int64_safe`, an interval-arithmetic walk
+  (:func:`~.intervals.interval_eval_within`) over every emitted operation
+  — including each partial accumulation of n-ary sums/products and the
+  scaled Faulhaber numerators — mirroring the per-category accumulation
+  and call-graph merges of the emitted code.  This precheck is mandatory:
+  numpy int64 multiplication **wraps silently** (``errstate`` does not
+  see it), so runtime detection alone cannot guarantee exactness.
+  Integer-body ``Sum`` closed forms stay integral via the scaled form
+  ``(D * cf) // D`` (``D`` = lcm of the Faulhaber coefficient
+  denominators), which is exact because the true sum — and the Faulhaber
+  polynomial at *every* integer point, masked region included — is an
+  integer.
+
+* **object mode** (the exact fallback).  Parameter columns are cast to
+  ``dtype=object`` — plain Python ints and ``Fraction``s — and the same
+  emitted source evaluates with Python's unbounded exact arithmetic,
+  elementwise under numpy broadcasting.  Slower, but still columnar, and
+  exact for arbitrarily large values and rational (branch-ratio) counts.
+
+* **scalar fallback**.  Anything that cannot be vectorized at all — a
+  ``Sum`` whose body is not polynomial in its loop variable (no closed
+  form exists; vector emission raises
+  :class:`~repro.errors.VectorizeError`), numpy unavailable — is handled
+  by the caller (``core.sweep``) falling back to the per-point scalar
+  closures of :mod:`.compile`.
+
+Fallback rules, as applied per chunk by the sweep engine:
+
+1. model set ``int64_capable`` *and* all columns int64 *and*
+   ``int64_safe`` proves the chunk's ranges → int64 mode;
+2. a runtime ``FloatingPointError`` (integer division by zero raises
+   under ``errstate(divide='raise')``) → retry the chunk in object mode,
+   where Python raises the same ``ZeroDivisionError`` the scalar closures
+   would;
+3. otherwise → object mode;
+4. ``VectorizeError`` anywhere → the whole sweep uses scalar closures
+   (automatic under ``engine="auto"``; surfaced under
+   ``engine="vector"``).
+
+Compiled artifacts (generated source + codegen metadata) round-trip
+through :meth:`VecCompiledResult.to_artifact` /
+:meth:`~VecCompiledResult.from_artifact` so warm ``ModelCache`` hits skip
+re-emission entirely; :data:`~.compile.CODEGEN_COUNTS` distinguishes
+``vector_emit`` from ``vector_exec`` so tests can assert that.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import ModelError, SchemaError, SymbolicError, VectorizeError
+from .compile import (CODEGEN_COUNTS, _emit_order, _mangle, _model_free_syms,
+                      _pick_callee_binding, _raise_unmodeled)
+from .expr import Expr
+from .intervals import _mul_iv, interval_eval_within
+from .pycodegen import expr_to_numpy
+
+try:
+    import numpy as np
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - numpy is baked into the toolchain
+    np = None
+    HAVE_NUMPY = False
+
+__all__ = ["HAVE_NUMPY", "INT64_BOUND", "VecCompiledExpr",
+           "VecCompiledResult", "compile_expr_vector",
+           "compile_result_vector"]
+
+#: Largest magnitude any int64-mode intermediate may reach.  Symmetric on
+#: purpose: it forgoes -2**63 itself, which only makes the precheck more
+#: conservative.
+INT64_BOUND = Fraction(2 ** 63 - 1)
+
+
+def _require_numpy():
+    if not HAVE_NUMPY:
+        raise VectorizeError("numpy is not available; use the scalar engine")
+    return np
+
+
+# ---------------------------------------------------------------------------
+# elementwise runtime helpers referenced by emitted source
+# ---------------------------------------------------------------------------
+
+def _vmax(*args):
+    """Elementwise ``max``; exact on python scalars, object arrays, int64."""
+    if not any(isinstance(a, np.ndarray) for a in args):
+        return max(args)
+    acc = args[0]
+    for a in args[1:]:
+        acc = np.maximum(acc, a)
+    return acc
+
+
+def _vmin(*args):
+    if not any(isinstance(a, np.ndarray) for a in args):
+        return min(args)
+    acc = args[0]
+    for a in args[1:]:
+        acc = np.minimum(acc, a)
+    return acc
+
+
+def _vwhere(cond, a, b):
+    if isinstance(cond, np.ndarray):
+        return np.where(cond, a, b)
+    return a if cond else b
+
+
+_obj_ufuncs = None
+
+
+def _obj_snap():
+    """``frompyfunc`` wrappers of the exact ceil/floor (object arrays)."""
+    global _obj_ufuncs
+    if _obj_ufuncs is None:
+        from ..core.model_runtime import _mira_ceil, _mira_floor
+        _obj_ufuncs = (np.frompyfunc(_mira_ceil, 1, 1),
+                       np.frompyfunc(_mira_floor, 1, 1))
+    return _obj_ufuncs
+
+
+def _vceil(x):
+    if isinstance(x, np.ndarray):
+        if x.dtype == object:
+            return _obj_snap()[0](x)
+        return x  # int64 values are already integral
+    from ..core.model_runtime import _mira_ceil
+    return _mira_ceil(x)
+
+
+def _vfloor(x):
+    if isinstance(x, np.ndarray):
+        if x.dtype == object:
+            return _obj_snap()[1](x)
+        return x
+    from ..core.model_runtime import _mira_floor
+    return _mira_floor(x)
+
+
+def _vadd(totals, vec, count):
+    """Columnar ``Metrics.add``: accumulate ``vec × count`` per category."""
+    for cat, w in vec.items():
+        add = count if w == 1 else w * count
+        cur = totals.get(cat)
+        totals[cat] = add if cur is None else cur + add
+
+
+def _vmerge(totals, callee, times):
+    """Columnar ``handle_function_call``: callee columns × call count."""
+    for cat, v in callee.items():
+        add = v * times
+        cur = totals.get(cat)
+        totals[cat] = add if cur is None else cur + add
+
+
+def _vec_runtime_namespace() -> dict:
+    return {
+        "Fraction": Fraction,
+        "np": np,
+        "_vmax": _vmax,
+        "_vmin": _vmin,
+        "_vwhere": _vwhere,
+        "_vceil": _vceil,
+        "_vfloor": _vfloor,
+        "_vadd": _vadd,
+        "_vmerge": _vmerge,
+        "_vpick": _pick_callee_binding,
+        "_vunmodeled": _raise_unmodeled,
+    }
+
+
+def _vfull(v, n: int):
+    """Broadcast one category result to a length-``n`` column, exactly."""
+    if isinstance(v, np.ndarray):
+        if v.shape == (n,):
+            return v
+        if v.shape == ():
+            v = v.item()
+        else:
+            return np.broadcast_to(v, (n,))
+    if isinstance(v, np.integer):
+        v = int(v)
+    if isinstance(v, int):
+        try:
+            return np.full(n, v, dtype=np.int64)
+        except OverflowError:
+            pass
+    out = np.empty(n, dtype=object)
+    out[:] = v
+    return out
+
+
+def _reject_floats(env, params=None) -> None:
+    """Float bindings are never exact.  Scalars are rejected only for the
+    model's own parameters (matching ``CompiledResult.evaluate``); a
+    float-dtype array is rejected wherever it appears."""
+    for k, v in env.items():
+        if isinstance(v, np.ndarray) and v.dtype.kind == "f":
+            raise SymbolicError(f"float binding for {k!r}; use int/Fraction")
+        if isinstance(v, float) and (params is None or k in params):
+            raise SymbolicError(f"float binding for {k!r}; use int/Fraction")
+
+
+# ---------------------------------------------------------------------------
+# single-expression vector compilation
+# ---------------------------------------------------------------------------
+
+class VecCompiledExpr:
+    """A compiled :class:`~.expr.Expr` over numpy arrays.
+
+    Call with an env mapping symbols to equal-length arrays (or exact
+    scalars); broadcasting follows numpy rules.  ``uses_fraction`` is True
+    when the emitted source contains ``Fraction`` literals, i.e. the
+    expression is only evaluable in object dtype."""
+
+    __slots__ = ("params", "source", "fn", "uses_fraction")
+
+    def __init__(self, params: tuple, source: str, fn,
+                 uses_fraction: bool) -> None:
+        self.params = params
+        self.source = source
+        self.fn = fn
+        self.uses_fraction = uses_fraction
+
+    def __call__(self, env=None):
+        env = env or {}
+        args = []
+        for p in self.params:
+            try:
+                v = env[p]
+            except KeyError:
+                raise SymbolicError(f"unbound symbol {p!r}") from None
+            args.append(v)
+        _reject_floats(dict(zip(self.params, args)))
+        return self.fn(*args)
+
+    def __repr__(self) -> str:
+        return (f"VecCompiledExpr(params={list(self.params)}, "
+                f"uses_fraction={self.uses_fraction})")
+
+
+def compile_expr_vector(e: Expr, params=None, *,
+                        name: str = "_mira_vexpr") -> VecCompiledExpr:
+    """Compile one expression into a numpy-elementwise closure.
+
+    Raises :class:`~repro.errors.VectorizeError` when the expression has no
+    vector form (non-polynomial ``Sum`` body, numpy missing)."""
+    _require_numpy()
+    if params is None:
+        params = tuple(sorted(e.free_symbols()))
+    else:
+        params = tuple(params)
+        missing = e.free_symbols() - set(params)
+        if missing:
+            raise SymbolicError(
+                f"compile_expr_vector: free symbols {sorted(missing)} "
+                "not in params")
+    body, frac = expr_to_numpy(e, rename=_mangle)
+    args = ", ".join(_mangle(p) for p in params)
+    source = f"def {name}({args}):\n    return {body}\n"
+    ns = _vec_runtime_namespace()
+    exec(compile(source, f"<mira-veccompiled:{name}>", "exec"), ns)
+    return VecCompiledExpr(params, source, ns[name], frac)
+
+
+# ---------------------------------------------------------------------------
+# whole-model vector compilation
+# ---------------------------------------------------------------------------
+
+def _emit_vec_model(lines: list, consts: dict, m, models: dict,
+                    fname: str, name_map: dict) -> bool:
+    """Emit one model's vector function; returns its uses_fraction flag.
+
+    Structure mirrors ``compile._emit_model_function`` exactly — one
+    ``_vadd`` per cost-center term, one callee call plus ``_vmerge`` per
+    call site — so values agree with the scalar closures operation for
+    operation."""
+    frac = False
+
+    def emit(e: Expr) -> str:
+        nonlocal frac
+        src, f = expr_to_numpy(e, rename=_mangle)
+        frac = frac or f
+        return src
+
+    lines.append(f"def {fname}(env):")
+    lines.append(f"    # vector-compiled model of {m.qualified_name!r}")
+    for s in sorted(_model_free_syms(m, models)):
+        lines.append(f"    {_mangle(s)} = env[{s!r}]")
+    lines.append("    _t = {}")
+    for i, t in enumerate(m.terms):
+        vec = t.vector.as_dict()
+        if not vec:
+            continue
+        cname = f"_VC_{fname}_{i}"
+        consts[cname] = vec
+        lines.append(f"    _vadd(_t, {cname}, {emit(t.count)})")
+    for j, c in enumerate(m.calls):
+        callee = models.get(c.callee)
+        if callee is None:
+            lines.append(f"    _vunmodeled({c.callee!r})")
+            continue
+        parts = []
+        for p in callee.params:
+            bound = c.arg_exprs.get(p)
+            if bound is not None:
+                parts.append(f"{p!r}: {emit(bound)}")
+            else:
+                parts.append(
+                    f"{p!r}: _vpick(env, {p!r}, {c.line}, {c.callee!r})")
+        lines.append(f"    _c{j} = {name_map[c.callee]}"
+                     f"({{{', '.join(parts)}}})")
+        lines.append(f"    _vmerge(_t, _c{j}, {emit(c.count)})")
+    lines.append("    return _t")
+    lines.append("")
+    return frac
+
+
+class VecCompiledResult:
+    """Every function model of an analysis compiled over numpy arrays.
+
+    ``evaluate_grid(qname, env, n)`` takes parameter *columns* and returns
+    per-category count columns — same parameter checking and errors as
+    ``CompiledResult.evaluate``, values ``Fraction``-equal to
+    ``evaluate_model`` at every grid point.  ``int64_capable`` plus
+    :meth:`int64_safe` decide when the int64 fast path is sound (see the
+    module docstring for the full dtype discipline)."""
+
+    __slots__ = ("models", "source", "int64_capable", "_fns", "_consts",
+                 "_name_map", "_order", "_sum_lower")
+
+    def __init__(self, models: dict, *, _artifact: dict | None = None) -> None:
+        _require_numpy()
+        self.models = models
+        self._sum_lower = None
+        if _artifact is None:
+            order = _emit_order(models)
+            name_map = {q: f"_mira_vfn_{i}" for i, q in enumerate(order)}
+            consts: dict = {}
+            lines: list[str] = []
+            frac = False
+            for q in order:
+                frac = _emit_vec_model(lines, consts, models[q], models,
+                                       name_map[q], name_map) or frac
+            self.source = "\n".join(lines)
+            self.int64_capable = not frac
+            CODEGEN_COUNTS["vector_emit"] += 1
+        else:
+            order = list(_artifact["order"])
+            name_map = dict(_artifact["names"])
+            consts = dict(_artifact["consts"])
+            if set(order) != set(models) or set(name_map) != set(models):
+                raise SchemaError(
+                    "vector artifact does not match the model set")
+            self.source = _artifact["source"]
+            self.int64_capable = bool(_artifact["int64_capable"])
+        self._order = order
+        self._name_map = name_map
+        self._consts = consts
+        ns = _vec_runtime_namespace()
+        ns.update(consts)
+        exec(compile(self.source, "<mira-veccompiled-result>", "exec"), ns)
+        self._fns = {q: ns[name_map[q]] for q in order}
+        CODEGEN_COUNTS["vector_exec"] += 1
+
+    # -- artifacts ---------------------------------------------------------
+
+    def to_artifact(self) -> dict:
+        """JSON-serializable codegen artifact (see ``CompiledResult``)."""
+        return {
+            "source": self.source,
+            "order": list(self._order),
+            "names": dict(self._name_map),
+            "consts": {k: dict(v) for k, v in self._consts.items()},
+            "int64_capable": self.int64_capable,
+        }
+
+    @classmethod
+    def from_artifact(cls, models: dict, artifact: dict) -> "VecCompiledResult":
+        return cls(models, _artifact=artifact)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate_grid(self, qname: str, env=None, npoints: int | None = None,
+                      *, guard_divide: bool = False) -> dict:
+        """Evaluate one function over parameter columns.
+
+        ``env`` maps parameter names to equal-length numpy columns or exact
+        scalars; returns ``{category: column}`` with every column
+        broadcast to length ``npoints``.  ``guard_divide`` runs under
+        ``errstate(divide='raise')`` so int64 division by zero surfaces as
+        ``FloatingPointError`` (the sweep engine's cue to retry the chunk
+        in object mode, where ``ZeroDivisionError`` matches the scalar
+        closures)."""
+        m = self.models.get(qname)
+        if m is None:
+            raise ModelError(f"no model for function {qname!r}")
+        env = dict(env or {})
+        missing = [p for p in m.params if p not in env]
+        if missing:
+            raise ModelError(
+                f"model {m.model_name} missing parameter(s) {missing}; "
+                f"required: {m.params}")
+        _reject_floats(env, m.params)
+        if npoints is None:
+            npoints = 1
+            for v in env.values():
+                if isinstance(v, np.ndarray) and v.ndim == 1:
+                    npoints = v.shape[0]
+                    break
+        if guard_divide:
+            with np.errstate(divide="raise", over="raise"):
+                raw = self._fns[qname](env)
+        else:
+            raw = self._fns[qname](env)
+        return {cat: _vfull(v, npoints) for cat, v in raw.items()}
+
+    # -- int64 overflow precheck ------------------------------------------
+
+    def _check_lowerings(self) -> dict:
+        """Sum node → lowered integer expression, derived lazily.
+
+        Derivation re-runs the (pure) expression renderer; it is cheap,
+        happens at most once per compiled object, and deliberately does
+        not count as codegen — artifact-restored results keep their
+        zero-emit guarantee."""
+        if self._sum_lower is None:
+            sl: dict = {}
+            for q in self._order:
+                m = self.models[q]
+                for t in m.terms:
+                    if t.vector.as_dict():
+                        expr_to_numpy(t.count, sum_lower=sl)
+                for c in m.calls:
+                    callee = self.models.get(c.callee)
+                    if callee is None:
+                        continue
+                    expr_to_numpy(c.count, sum_lower=sl)
+                    for p in callee.params:
+                        bound = c.arg_exprs.get(p)
+                        if bound is not None:
+                            expr_to_numpy(bound, sum_lower=sl)
+            self._sum_lower = sl
+        return self._sum_lower
+
+    def int64_safe(self, qname: str, env_ivs) -> bool:
+        """True iff no int64 intermediate can overflow for these ranges.
+
+        ``env_ivs`` maps parameter names to ``(Fraction lo, Fraction hi)``
+        covering the chunk's actual values.  The walk mirrors the emitted
+        code: term counts, per-category accumulation, callee argument
+        expressions, recursive callee evaluation, and call-count merges
+        are all bounded in interval arithmetic; any unknown or unbounded
+        piece fails closed (returns False → object mode)."""
+        if not self.int64_capable:
+            return False
+        if self.models.get(qname) is None:
+            return False
+        lower = self._check_lowerings().get
+        return self._cats_iv(qname, dict(env_ivs), lower) is not None
+
+    def _cats_iv(self, qname: str, env_ivs: dict, lower):
+        bound = INT64_BOUND
+        m = self.models.get(qname)
+        if m is None:
+            # unmodeled callee: evaluation raises ModelError in every
+            # engine, so the mode choice is irrelevant — don't block int64
+            return {}
+        cats: dict = {}
+
+        def acc(cat, iv):
+            cur = cats.get(cat)
+            if cur is None:
+                cats[cat] = iv
+                return True
+            lo, hi = cur[0] + iv[0], cur[1] + iv[1]
+            if lo < -bound or hi > bound:
+                return False
+            cats[cat] = (lo, hi)
+            return True
+
+        for t in m.terms:
+            vec = t.vector.as_dict()
+            if not vec:
+                continue
+            civ = interval_eval_within(t.count, env_ivs, bound,
+                                       lower_sum=lower)
+            if civ is None:
+                return None
+            for cat, w in vec.items():
+                wiv = (min(w * civ[0], w * civ[1]),
+                       max(w * civ[0], w * civ[1]))
+                if wiv[0] < -bound or wiv[1] > bound:
+                    return None
+                if not acc(cat, wiv):
+                    return None
+        for c in m.calls:
+            callee = self.models.get(c.callee)
+            if callee is None:
+                continue
+            sub_ivs: dict = {}
+            ok = True
+            for p in callee.params:
+                be = c.arg_exprs.get(p)
+                if be is not None:
+                    iv = interval_eval_within(be, env_ivs, bound,
+                                              lower_sum=lower)
+                else:
+                    iv = env_ivs.get(f"{p}_{c.line}")
+                    if iv is None:
+                        iv = env_ivs.get(p)
+                if iv is None:
+                    ok = False
+                    break
+                sub_ivs[p] = iv
+            if not ok:
+                return None
+            callee_cats = self._cats_iv(c.callee, sub_ivs, lower)
+            if callee_cats is None:
+                return None
+            cciv = interval_eval_within(c.count, env_ivs, bound,
+                                        lower_sum=lower)
+            if cciv is None:
+                return None
+            for cat, iv in callee_cats.items():
+                merged = _mul_iv(iv, cciv)
+                if merged[0] < -bound or merged[1] > bound:
+                    return None
+                if not acc(cat, merged):
+                    return None
+        return cats
+
+    def __repr__(self) -> str:
+        return (f"VecCompiledResult({len(self.models)} function(s), "
+                f"int64_capable={self.int64_capable})")
+
+
+def compile_result_vector(models: dict) -> VecCompiledResult:
+    """Vector-compile every FunctionModel in ``models`` (qname -> model)."""
+    return VecCompiledResult(models)
