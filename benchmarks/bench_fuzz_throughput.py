@@ -1,0 +1,67 @@
+"""Differential-fuzzing throughput: programs/second through the oracle stack.
+
+The fuzz subsystem's value scales with how many programs a campaign can
+push through analysis + interpretation + all four oracles per unit time
+(CI budgets a fixed count; local runs budget seconds).  This bench runs a
+fixed-seed campaign and reports per-oracle outcomes and throughput.
+Emits ``benchmarks/out/BENCH_fuzz_throughput.json``.
+"""
+
+import json
+import os
+import time
+
+from _common import OUT_DIR, rows_to_text, save_table
+
+from repro.fuzz import run_campaign
+
+SEED = 0
+COUNT = 40
+
+
+def run_fixed_campaign():
+    t0 = time.perf_counter()
+    report = run_campaign(seed=SEED, count=COUNT, shrink=False)
+    return report, time.perf_counter() - t0
+
+
+def test_fuzz_throughput(benchmark):
+    report, elapsed = benchmark.pedantic(run_fixed_campaign,
+                                         iterations=1, rounds=1)
+
+    assert report.ok, [d.to_dict() for d in report.divergences]
+    assert report.executed == COUNT
+
+    per_s = COUNT / elapsed
+    rows = [["programs", COUNT],
+            ["seed", SEED],
+            ["elapsed", f"{elapsed:.2f}s"],
+            ["programs/s", f"{per_s:.2f}"],
+            ["divergences", len(report.divergences)]]
+    for name, st in report.oracle_stats.items():
+        rows.append([f"oracle {name}",
+                     f"{st['passed']} passed / {st['skipped']} skipped"])
+    save_table("fuzz_throughput", rows_to_text(
+        "Differential fuzzing — campaign throughput",
+        ["metric", "value"], rows,
+        note="Full oracle stack (static/dynamic, engines, serialize, "
+             "cache) per program; fixed seed, no shrinking."))
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_fuzz_throughput.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump({"seed": SEED, "count": COUNT,
+                   "elapsed_seconds": round(elapsed, 3),
+                   "programs_per_second": round(per_s, 3),
+                   "ok": report.ok,
+                   "oracle_stats": report.oracle_stats}, fh, indent=2)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -28,6 +28,11 @@ Subcommands::
         loop-coverage report (paper Table I columns)
     mira profile FILE [--entry main]
         run under the dynamic substrate (TAU analog), print category counts
+    mira fuzz [--seed S] [--count N] [--budget-s T] [--oracles a,b]
+        differential fuzzing: generate random programs and demand exact
+        agreement across every independent evaluation path (static model vs
+        interpreter, tree-walk vs compiled vs vectorized, JSON round-trip,
+        cold vs warm cache); shrink and optionally persist any divergence
     mira arch-template
         print a JSON architecture description template to customize
 
@@ -377,6 +382,66 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz.oracles import ORACLE_NAMES
+    from .fuzz.runner import run_campaign, save_reproducer
+
+    oracles = None
+    if args.oracles:
+        oracles = [o.strip() for o in args.oracles.split(",") if o.strip()]
+        unknown = [o for o in oracles if o not in ORACLE_NAMES]
+        if unknown:
+            raise SystemExit(
+                f"mira fuzz: unknown oracle(s) {', '.join(unknown)} "
+                f"(available: {', '.join(ORACLE_NAMES)})")
+
+    def progress(index, case):
+        if not case.ok:
+            failed = ", ".join(v.oracle for v in case.failed()) or "error"
+            print(f"fuzz: program {index} (seed {case.program.seed}) "
+                  f"DIVERGED: {failed}", file=sys.stderr)
+
+    report = run_campaign(seed=args.seed, count=args.count,
+                          budget_s=args.budget_s, oracles=oracles,
+                          shrink=not args.no_shrink,
+                          progress=None if args.json else progress)
+    saved = []
+    if args.out:
+        for div in report.divergences:
+            saved.append(save_reproducer(args.out, div))
+    if args.json:
+        doc = report.to_dict()
+        if saved:
+            doc["reproducers"] = saved
+        print(json.dumps(doc, indent=2))
+        return 0 if report.ok else 1
+    print(f"# fuzz campaign: seed {report.seed}, "
+          f"{report.executed}/{report.requested} program(s), "
+          f"{report.elapsed_s:.1f}s"
+          + (" (budget exhausted)" if report.budget_exhausted else ""))
+    for name, st in report.oracle_stats.items():
+        print(f"{name:>16}  {st['passed']:>5} passed  {st['failed']:>4} "
+              f"failed  {st['skipped']:>4} skipped")
+    if report.ok:
+        print("no divergence found")
+    else:
+        print(f"{len(report.divergences)} DIVERGENCE(S):")
+        for div in report.divergences:
+            rep = div.report
+            failed = ", ".join(v.oracle for v in rep.failed()) or "error"
+            print(f"  seed {rep.program.seed}: {failed}")
+            for v in rep.failed():
+                if v.detail:
+                    print(f"    {v.detail}")
+            if div.shrunk is not None:
+                print("  minimized reproducer:")
+                for line in div.shrunk.source("concrete").splitlines():
+                    print(f"    {line}")
+    for path in saved:
+        print(f"reproducer written to {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_arch_template(args) -> int:
     print(default_arch().to_json())
     return 0
@@ -476,6 +541,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--entry", default="main")
     common(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing: random programs through "
+                            "the oracle stack")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0); every program is "
+                        "derived deterministically from it")
+    p.add_argument("--count", type=int, default=100, metavar="N",
+                   help="number of programs to generate (default 100)")
+    p.add_argument("--budget-s", type=float, default=None, metavar="T",
+                   help="wall-clock budget in seconds; the campaign stops "
+                        "early once exceeded")
+    p.add_argument("--oracles", default=None, metavar="a,b",
+                   help="comma-separated oracle subset (default: all)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write a minimized reproducer JSON per divergence "
+                        "into DIR (the fuzz-corpus workflow)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences unminimized")
+    p.add_argument("--json", action="store_true",
+                   help="emit a schema-versioned JSON document")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("arch-template", help="print an arch JSON template")
     p.set_defaults(fn=cmd_arch_template)

@@ -104,14 +104,20 @@ class FunctionModel:
     calls: list = field(default_factory=list)
     warnings: list = field(default_factory=list)
     params: list = field(default_factory=list)   # resolved later (ordered)
+    # Validity domain: expressions that must be >= 0 for the counts to be
+    # exact (unproven well-formed-loop extents, own and inherited from
+    # callees).  Statically-false assumptions become warnings instead.
+    assumptions: list = field(default_factory=list)
     restored_names: tuple | None = None          # (qualified_name, model_name)
 
     @classmethod
     def restored(cls, qualified_name: str, model_name: str, *,
-                 terms=(), calls=(), warnings=(), params=()) -> "FunctionModel":
+                 terms=(), calls=(), warnings=(), params=(),
+                 assumptions=()) -> "FunctionModel":
         """Rebuild a model from serialized parts, without an AST."""
         return cls(fn=None, terms=list(terms), calls=list(calls),
                    warnings=list(warnings), params=list(params),
+                   assumptions=list(assumptions),
                    restored_names=(qualified_name, model_name))
 
     @property
@@ -165,14 +171,14 @@ class _Ctx:
             extra=kw.get("extra", self.extra),
         )
 
-    def count(self) -> Expr:
+    def count(self, assumptions: list | None = None) -> Expr:
         """Execution count of this context (times any body here runs)."""
-        base = count_nest(self.nest, Int(1))
+        base = count_nest(self.nest, Int(1), assumptions)
         if self.pending_neg:
             narrowed = self.nest
             for c in self.pending_neg:
                 narrowed = narrowed.with_constraint(c)
-            base = base - count_nest(narrowed, Int(1))
+            base = base - count_nest(narrowed, Int(1), assumptions)
         if self.multiplier != 1:
             base = Int(self.multiplier) * base
         if self.extra != Int(1):
@@ -217,6 +223,7 @@ class MetricGenerator:
                 continue
             models[fn.qualified_name] = self.generate_function(fn)
         self._resolve_parameters(models)
+        self._close_assumptions(models)
         return models
 
     def generate_function(self, fn: A.FunctionDef) -> FunctionModel:
@@ -268,7 +275,11 @@ class MetricGenerator:
         if isinstance(s, (A.NullStmt,)):
             return
         if isinstance(s, (A.ExprStmt, A.DeclStmt, A.ReturnStmt)):
-            count = ctx.count()
+            if isinstance(s, A.ReturnStmt) and ctx.nest.levels:
+                model.warnings.append(
+                    f"line {s.line}: return inside a loop exits early; "
+                    f"counts are upper bounds")
+            count = ctx.count(model.assumptions)
             self._emit_term(model, bridge, s.line, s.col, count, "stmt")
             self._emit_calls(s, count, model)
             return
@@ -285,10 +296,15 @@ class MetricGenerator:
             self._walk_do_while(s, ctx, model, bridge)
             return
         if isinstance(s, (A.BreakStmt, A.ContinueStmt)):
-            # control transfer cost is folded into the enclosing centers;
-            # early exits make counts upper bounds (documented limitation,
-            # same as the paper's static nature).
-            count = ctx.count()
+            # Control transfer cost is folded into the enclosing centers.
+            # Early exits make the static counts upper bounds (same as the
+            # paper's static nature) — advertise it, so exactness-demanding
+            # consumers (the differential fuzzer's oracles) know to skip.
+            kind = "break" if isinstance(s, A.BreakStmt) else "continue"
+            model.warnings.append(
+                f"line {s.line}: {kind} alters control flow; "
+                f"counts are upper bounds")
+            count = ctx.count(model.assumptions)
             self._emit_term(model, bridge, s.line, s.col, count, "jump")
             return
         raise ModelError(f"metric generation: unhandled {type(s).__name__}")
@@ -355,11 +371,11 @@ class MetricGenerator:
             level = NestLevel(level.var, level.lb, level.ub,
                               level.step * int(s.info["vectorized"]))
 
-        outer_count = ctx.count()
+        outer_count = ctx.count(model.assumptions)
         # A loop whose bounds depend on enclosing indices that were collapsed
         # away (ratio/complement contexts) cannot nest symbolically.
         body_ctx = self._nest_ctx(ctx, level, s, model)
-        iters = body_ctx.count()
+        iters = body_ctx.count(model.assumptions)
 
         if s.init is not None:
             self._emit_term(model, bridge, s.init.line, s.init.col,
@@ -384,7 +400,7 @@ class MetricGenerator:
                 raise ModelError(
                     f"line {s.line}: loop inside a negated branch depends on "
                     f"outer indices {sorted(deps)}; annotate the branch")
-            collapsed = ctx.count()
+            collapsed = ctx.count(model.assumptions)
             return _Ctx(nest=LoopNest().add_level(level), extra=collapsed)
         return ctx.child(nest=ctx.nest.nested(level))
 
@@ -402,9 +418,9 @@ class MetricGenerator:
         else:
             trip = Sym(ann_iters) if isinstance(ann_iters, str) else Int(int(ann_iters))
         level = NestLevel(f"_wh_L{s.line}", Int(1), trip)
-        outer_count = ctx.count()
+        outer_count = ctx.count(model.assumptions)
         body_ctx = self._nest_ctx(ctx, level, s, model)
-        iters = body_ctx.count()
+        iters = body_ctx.count(model.assumptions)
         self._emit_term(model, bridge, s.cond.line, s.cond.col,
                         iters + outer_count, "while-cond")
         self._walk(s.body, body_ctx, model, bridge)
@@ -424,7 +440,7 @@ class MetricGenerator:
             trip = Sym(ann_iters) if isinstance(ann_iters, str) else Int(int(ann_iters))
         level = NestLevel(f"_dw_L{s.line}", Int(1), trip)
         body_ctx = self._nest_ctx(ctx, level, s, model)
-        iters = body_ctx.count()
+        iters = body_ctx.count(model.assumptions)
         self._emit_term(model, bridge, s.cond.line, s.cond.col, iters,
                         "dowhile-cond")
         self._walk(s.body, body_ctx, model, bridge)
@@ -432,7 +448,7 @@ class MetricGenerator:
     # ---------------------------------------------------------------- branches
     def _walk_if(self, s: A.IfStmt, ctx: _Ctx, model: FunctionModel,
                  bridge: FunctionBridge) -> None:
-        cond_count = ctx.count()
+        cond_count = ctx.count(model.assumptions)
         self._emit_term(model, bridge, s.cond.line, s.cond.col, cond_count,
                         "if-cond")
         self._emit_calls_expr(s.cond, cond_count, model)
@@ -597,6 +613,43 @@ class MetricGenerator:
             extra = sorted(params - set(src_params))
             m.params = src_params + extra
             needed[qname] = m.params
+
+    def _close_assumptions(self, models: dict[str, FunctionModel]) -> None:
+        """Propagate validity-domain assumptions through the call graph.
+
+        A callee's assumptions are rewritten with the caller's argument
+        bindings (unresolved parameters get the same call-site line suffix
+        as in :meth:`_resolve_parameters`, so they name the caller's bubbled
+        parameters).  A rewritten assumption that folds to a negative
+        constant is a *statically detected* violation — the call passes a
+        binding outside the polynomial's validity domain — and becomes a
+        warning; a non-negative constant is discharged; anything still
+        symbolic is inherited.
+        """
+        for qname in self._topo_order(models):
+            m = models[qname]
+            for c in m.calls:
+                callee = models.get(c.callee)
+                if callee is None or not callee.assumptions:
+                    continue
+                if c.count == Int(0):
+                    continue  # call never executes; nothing to inherit
+                for a in callee.assumptions:
+                    sub: dict[str, Expr] = {}
+                    for name in a.free_symbols():
+                        bound = c.arg_exprs.get(name)
+                        sub[name] = bound if bound is not None \
+                            else Sym(f"{name}_{c.line}")
+                    rewritten = a.subs(sub)
+                    if not rewritten.free_symbols():
+                        if rewritten.evaluate({}) < 0:
+                            m.warnings.append(
+                                f"line {c.line}: call binds {c.callee} "
+                                f"outside a loop's validity domain (extent "
+                                f"{rewritten.evaluate({})} < 0); counts are "
+                                f"approximate")
+                    elif rewritten not in m.assumptions:
+                        m.assumptions.append(rewritten)
 
     def _topo_order(self, models: dict[str, FunctionModel]) -> list[str]:
         """Callees before callers; raises on recursion."""

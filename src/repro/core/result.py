@@ -67,11 +67,14 @@ def _call_from_dict(d: dict) -> CallTerm:
 
 
 def _model_to_dict(m: FunctionModel) -> dict:
-    return {"model_name": m.model_name,
-            "params": list(m.params),
-            "warnings": list(m.warnings),
-            "terms": [_term_to_dict(t) for t in m.terms],
-            "calls": [_call_to_dict(c) for c in m.calls]}
+    out = {"model_name": m.model_name,
+           "params": list(m.params),
+           "warnings": list(m.warnings),
+           "terms": [_term_to_dict(t) for t in m.terms],
+           "calls": [_call_to_dict(c) for c in m.calls]}
+    if m.assumptions:
+        out["assumptions"] = [expr_to_json(a) for a in m.assumptions]
+    return out
 
 
 def _model_from_dict(qname: str, d: dict) -> FunctionModel:
@@ -80,7 +83,9 @@ def _model_from_dict(qname: str, d: dict) -> FunctionModel:
         terms=[_term_from_dict(t) for t in d.get("terms", [])],
         calls=[_call_from_dict(c) for c in d.get("calls", [])],
         warnings=list(d.get("warnings", [])),
-        params=list(d.get("params", [])))
+        params=list(d.get("params", [])),
+        assumptions=[expr_from_json(a)
+                     for a in d.get("assumptions", [])])
 
 
 @dataclass
@@ -201,6 +206,12 @@ class AnalysisResult:
 
     def parameters(self, function: str) -> list[str]:
         return self.models[self._resolve(function)].params
+
+    def assumptions(self, function: str) -> list:
+        """Validity-domain expressions for ``function``: the model's counts
+        are exact only where every returned expression is >= 0 (unproven
+        well-formed-loop extents, own and inherited from callees)."""
+        return list(self.models[self._resolve(function)].assumptions)
 
     def warnings(self, function: str | None = None) -> list[str]:
         if function is not None:

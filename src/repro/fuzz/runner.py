@@ -1,0 +1,201 @@
+"""Fuzz campaigns: seeded, budgeted sweeps of the oracle stack.
+
+A campaign derives one deterministic child seed per program from the
+campaign seed, runs every program through the oracle stack, shrinks any
+divergence to a local minimum, and produces a schema-versioned
+:class:`FuzzReport` (the ``mira fuzz --json`` document).  Interrupting a
+campaign with a time budget never changes *which* programs the surviving
+indices generate — only how many run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..core.config import AnalysisConfig
+from .generator import (ALL_FEATURES, GeneratedProgram, RawProgram,
+                        generate_program, spec_from_dict, spec_to_dict)
+from .oracles import ORACLE_NAMES, CaseReport, run_oracles
+from .shrink import shrink_program
+
+__all__ = ["FUZZ_SCHEMA_VERSION", "FuzzReport", "case_seed",
+           "load_reproducer", "run_campaign", "save_reproducer"]
+
+#: Version stamped on FuzzReport documents and reproducer files.
+FUZZ_SCHEMA_VERSION = 1
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """The per-program seed: decouples program identity from campaign
+    length (program ``i`` of seed ``s`` is always the same program)."""
+    return campaign_seed * 1_000_003 + index
+
+
+@dataclass
+class Divergence:
+    """One confirmed divergence: the original program and its minimized
+    form, plus the verdicts that fired."""
+
+    report: CaseReport
+    shrunk: GeneratedProgram | None = None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "seed": self.report.program.seed,
+            "error": self.report.error,
+            "failed_oracles": [v.to_dict() for v in self.report.failed()],
+            "source": self.report.program.source("concrete"),
+            "spec": spec_to_dict(self.report.program.spec),
+        }
+        if self.shrunk is not None:
+            doc["shrunk_source"] = self.shrunk.source("concrete")
+            doc["shrunk_spec"] = spec_to_dict(self.shrunk.spec)
+        return doc
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign did, JSON-able for the CLI/CI."""
+
+    seed: int
+    requested: int
+    oracles: tuple = ORACLE_NAMES
+    features: tuple = ALL_FEATURES
+    executed: int = 0
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+    divergences: list = field(default_factory=list)   # Divergence
+    oracle_stats: dict = field(default_factory=dict)  # name -> counters
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": FUZZ_SCHEMA_VERSION,
+            "kind": "FuzzReport",
+            "seed": self.seed,
+            "requested": self.requested,
+            "executed": self.executed,
+            "oracles": list(self.oracles),
+            "features": list(self.features),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "ok": self.ok,
+            "oracle_stats": {k: dict(v)
+                             for k, v in self.oracle_stats.items()},
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _still_fails(oracles, config):
+    """The shrinker predicate: the candidate still fails any oracle."""
+    def predicate(candidate: GeneratedProgram) -> bool:
+        return not run_oracles(candidate, oracles, config).ok
+    return predicate
+
+
+def run_campaign(seed: int = 0, count: int = 100, *,
+                 budget_s: float | None = None, oracles=None,
+                 features=ALL_FEATURES, shrink: bool = True,
+                 config: AnalysisConfig | None = None,
+                 progress=None) -> FuzzReport:
+    """Generate ``count`` programs and run each through the oracle stack.
+
+    ``budget_s`` caps wall time (the campaign stops early, reported via
+    ``budget_exhausted``); ``oracles`` selects a subset by name;
+    ``progress`` is an optional callable receiving ``(index, CaseReport)``
+    after each program.
+    """
+    oracles = tuple(oracles or ORACLE_NAMES)
+    report = FuzzReport(seed=seed, requested=count, oracles=oracles,
+                        features=tuple(features))
+    stats = {name: {"passed": 0, "failed": 0, "skipped": 0}
+             for name in oracles}
+    t0 = time.perf_counter()
+    for index in range(count):
+        if budget_s is not None and time.perf_counter() - t0 >= budget_s:
+            report.budget_exhausted = True
+            break
+        program = generate_program(case_seed(seed, index), features)
+        case = run_oracles(program, oracles, config)
+        report.executed += 1
+        for v in case.verdicts:
+            bucket = stats.setdefault(
+                v.oracle, {"passed": 0, "failed": 0, "skipped": 0})
+            if not v.ok:
+                bucket["failed"] += 1
+            elif v.skipped:
+                bucket["skipped"] += 1
+            else:
+                bucket["passed"] += 1
+        if not case.ok:
+            shrunk = None
+            if shrink:
+                shrunk = shrink_program(
+                    case.program, _still_fails(oracles, config))
+            report.divergences.append(Divergence(case, shrunk))
+        if progress is not None:
+            progress(index, case)
+    report.elapsed_s = time.perf_counter() - t0
+    report.oracle_stats = stats
+    return report
+
+
+# ---------------------------------------------------------------------------
+# reproducer files (tests/fuzz_corpus/)
+# ---------------------------------------------------------------------------
+
+def save_reproducer(directory: str, divergence: Divergence,
+                    note: str = "") -> str:
+    """Persist one divergence as a replayable reproducer JSON file.
+
+    The file carries the *minimized* spec when the shrinker produced one
+    (plus the original for provenance) and the oracle verdicts observed at
+    save time.  ``tests/test_fuzz_regressions.py`` replays every file in
+    ``tests/fuzz_corpus/`` through the full oracle stack, so a reproducer
+    is checked in together with its fix and must stay green forever.
+    """
+    os.makedirs(directory, exist_ok=True)
+    program = divergence.shrunk or divergence.report.program
+    failed = [v.oracle for v in divergence.report.failed()]
+    name = f"repro-seed{divergence.report.program.seed}-" \
+           f"{'-'.join(failed) or 'error'}.json"
+    path = os.path.join(directory, name)
+    doc = {
+        "schema_version": FUZZ_SCHEMA_VERSION,
+        "kind": "FuzzReproducer",
+        "seed": divergence.report.program.seed,
+        "note": note,
+        "failed_oracles": failed,
+        "error": divergence.report.error,
+        "verdicts": [v.to_dict() for v in divergence.report.verdicts],
+        "spec": spec_to_dict(program.spec),
+        "source": program.source("concrete"),
+        "original_spec": spec_to_dict(divergence.report.program.spec),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_reproducer(path: str):
+    """Rebuild the program a reproducer file describes.
+
+    Spec-carrying files replay through the generator's renderer (staying
+    exact as it evolves); source-only files (hand-written reproducers for
+    bugs outside the generated grammar) replay the literal source."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("spec"):
+        spec = spec_from_dict(doc["spec"])
+        return GeneratedProgram(spec=spec, seed=doc.get("seed"))
+    return RawProgram(raw=doc["source"], seed=doc.get("seed"))

@@ -1,0 +1,224 @@
+"""Delta-debugging shrinker: minimize a diverging program spec.
+
+Works at the :class:`~repro.fuzz.generator.ProgramSpec` level, so every
+candidate stays inside the supported grammar by construction.  The loop is
+classic greedy delta debugging: apply every reduction pass to the current
+spec, keep any candidate on which the failure predicate still fires,
+restart; stop at a fixpoint (a local minimum — no single pass keeps the
+program failing).
+
+Reduction passes, roughly largest-first:
+
+1. drop a whole function (and every call to it),
+2. drop a body statement / tail call / guard,
+3. remove the innermost or outermost loop level,
+4. concretize a symbolic size (freeze its concrete value into the bound),
+5. flatten a triangular bound to a constant,
+6. shrink integers toward zero (offsets, steps, size values, grids).
+
+Determinism: passes are enumerated in a fixed order and the first
+still-failing candidate wins each round, so the same divergence always
+shrinks to the same reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .generator import (BoundSpec, FunctionSpec, GeneratedProgram,
+                        ProgramSpec, var_intervals)
+
+__all__ = ["shrink_program"]
+
+#: Safety valve on predicate invocations per shrink.
+_MAX_CHECKS = 400
+
+
+def _drop_function(spec: ProgramSpec):
+    for i, fn in enumerate(spec.functions):
+        functions = spec.functions[:i] + spec.functions[i + 1:]
+        name = fn.name
+        functions = tuple(
+            replace(f,
+                    body=tuple(st for st in f.body
+                               if not (st.kind == "call"
+                                       and st.call.callee == name)),
+                    tail_calls=tuple(c for c in f.tail_calls
+                                     if c.callee != name))
+            for f in functions)
+        main_calls = tuple(c for c in spec.main_calls if c.callee != name)
+        if functions:
+            yield replace(spec, functions=functions, main_calls=main_calls)
+
+
+def _drop_stmt(spec: ProgramSpec):
+    for i, fn in enumerate(spec.functions):
+        if len(fn.body) > 1:
+            for j in range(len(fn.body)):
+                body = fn.body[:j] + fn.body[j + 1:]
+                yield _with_fn(spec, i, replace(fn, body=body))
+        for j in range(len(fn.tail_calls)):
+            tc = fn.tail_calls[:j] + fn.tail_calls[j + 1:]
+            yield _with_fn(spec, i, replace(fn, tail_calls=tc))
+
+
+def _drop_guard(spec: ProgramSpec):
+    for i, fn in enumerate(spec.functions):
+        for j in range(len(fn.guards)):
+            guards = fn.guards[:j] + fn.guards[j + 1:]
+            yield _with_fn(spec, i, replace(fn, guards=guards))
+
+
+def _used_vars(fn: FunctionSpec) -> set:
+    used = set()
+    for g in fn.guards:
+        used.add(g.var)
+        if g.var2:
+            used.add(g.var2)
+        if g.rhs.base:
+            used.add(g.rhs.base)
+    for st in fn.body:
+        used.update(v for v in (st.idx, st.idx2, st.expr_var) if v)
+    for lp in fn.loops:
+        for b in (lp.lo, lp.hi):
+            if b.base:
+                used.add(b.base)
+    return used
+
+
+def _drop_loop(spec: ProgramSpec):
+    for i, fn in enumerate(spec.functions):
+        if len(fn.loops) < 2:
+            continue
+        for j in (len(fn.loops) - 1, 0):   # innermost first, then outermost
+            victim = fn.loops[j]
+            rest = fn.loops[:j] + fn.loops[j + 1:]
+            if victim.var in _used_vars(replace(fn, loops=rest)):
+                continue
+            yield _with_fn(spec, i, replace(fn, loops=rest))
+
+
+def _concretize_size(spec: ProgramSpec):
+    for k, (name, value, _grid) in enumerate(spec.sizes):
+        sizes = spec.sizes[:k] + spec.sizes[k + 1:]
+        functions = tuple(_subst_base(fn, name, value)
+                          for fn in spec.functions)
+        main_calls = tuple(
+            replace(c, args=tuple(value if a == name else a
+                                  for a in c.args))
+            for c in spec.main_calls)
+        yield replace(spec, functions=functions, main_calls=main_calls,
+                      sizes=sizes)
+
+
+def _subst_base(fn: FunctionSpec, name: str, value: int) -> FunctionSpec:
+    def bound(b: BoundSpec) -> BoundSpec:
+        if b.base == name:
+            return BoundSpec(None, value + b.offset)
+        return b
+
+    return replace(
+        fn,
+        loops=tuple(replace(lp, lo=bound(lp.lo), hi=bound(lp.hi))
+                    for lp in fn.loops),
+        guards=tuple(replace(g, rhs=bound(g.rhs)) for g in fn.guards),
+        body=tuple(replace(st, call=replace(
+            st.call, args=tuple(value if a == name else a
+                                for a in st.call.args)))
+                   if st.kind == "call" else st
+                   for st in fn.body),
+        tail_calls=tuple(replace(c, args=tuple(value if a == name else a
+                                               for a in c.args))
+                         for c in fn.tail_calls))
+
+
+def _flatten_triangular(spec: ProgramSpec):
+    """Replace a variable-based bound with the constant midpoint of its
+    interval — keeps the iteration count in the same ballpark while
+    removing the dependence."""
+    for i, fn in enumerate(spec.functions):
+        env = var_intervals(fn, spec)
+        for j, lp in enumerate(fn.loops):
+            for attr in ("lo", "hi"):
+                b: BoundSpec = getattr(lp, attr)
+                if b.base is None:
+                    continue
+                lo, hi = env.get(b.base, (0, 0))
+                const = (lo + hi) // 2 + b.offset
+                loops = list(fn.loops)
+                loops[j] = replace(lp, **{attr: BoundSpec(None, const)})
+                yield _with_fn(spec, i, replace(fn, loops=tuple(loops)))
+
+
+def _shrink_ints(spec: ProgramSpec):
+    for i, fn in enumerate(spec.functions):
+        for j, lp in enumerate(fn.loops):
+            if lp.step > 1:
+                loops = list(fn.loops)
+                loops[j] = replace(lp, step=1)
+                yield _with_fn(spec, i, replace(fn, loops=tuple(loops)))
+            for attr in ("lo", "hi"):
+                b: BoundSpec = getattr(lp, attr)
+                if b.offset != 0:
+                    loops = list(fn.loops)
+                    shrunk = b.offset // 2 if abs(b.offset) > 1 else 0
+                    loops[j] = replace(lp, **{attr: BoundSpec(b.base,
+                                                              shrunk)})
+                    yield _with_fn(spec, i, replace(fn, loops=tuple(loops)))
+        for j, g in enumerate(fn.guards):
+            if g.rhs.offset != 0:
+                guards = list(fn.guards)
+                off = g.rhs.offset // 2 if abs(g.rhs.offset) > 1 else 0
+                guards[j] = replace(g, rhs=BoundSpec(g.rhs.base, off))
+                yield _with_fn(spec, i, replace(fn, guards=tuple(guards)))
+    for k, (name, value, grid) in enumerate(spec.sizes):
+        if value > 1:
+            sizes = list(spec.sizes)
+            sizes[k] = (name, value // 2, grid)
+            yield replace(spec, sizes=tuple(sizes))
+        if len(grid) > 2:
+            sizes = list(spec.sizes)
+            sizes[k] = (name, value, (grid[0], grid[-1]))
+            yield replace(spec, sizes=tuple(sizes))
+
+
+_PASSES = (_drop_function, _drop_stmt, _drop_guard, _drop_loop,
+           _concretize_size, _flatten_triangular, _shrink_ints)
+
+
+def _with_fn(spec: ProgramSpec, i: int, fn: FunctionSpec) -> ProgramSpec:
+    functions = spec.functions[:i] + (fn,) + spec.functions[i + 1:]
+    return replace(spec, functions=functions)
+
+
+def shrink_program(program: GeneratedProgram, still_fails,
+                   max_checks: int = _MAX_CHECKS) -> GeneratedProgram:
+    """Minimize ``program`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` receives a :class:`GeneratedProgram` and returns
+    truthy when the divergence is still present.  The input itself must
+    fail (callers pass the program that made an oracle fire).  Returns a
+    local minimum: no single reduction pass keeps it failing.
+    """
+    current = program
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for pass_fn in _PASSES:
+            for candidate_spec in pass_fn(current.spec):
+                if checks >= max_checks:
+                    break
+                candidate = replace(current, spec=candidate_spec)
+                checks += 1
+                try:
+                    failing = bool(still_fails(candidate))
+                except Exception:
+                    failing = False   # a crashing candidate is not *this* bug
+                if failing:
+                    current = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return current

@@ -25,7 +25,7 @@ from fractions import Fraction
 from ..errors import PolyhedralError
 from ..symbolic import Expr, FloorDiv, Int, Max, Min, Sum, as_expr, sum_expr
 from ..symbolic.summation import range_size
-from .affine import AffineExpr, Constraint
+from .affine import AffineExpr, Constraint, affine_from_symbolic
 from .polyhedron import LoopNest, NestLevel
 
 __all__ = ["count_nest", "bounds_from_constraint", "count_residue"]
@@ -297,12 +297,46 @@ def _as_concrete(e: Expr):
     return None
 
 
-def count_nest(nest: LoopNest, body: Expr | int = 1) -> Expr:
+def _provably_nonempty(nest: LoopNest, depth: int, lo: Expr, hi: Expr) -> bool:
+    """Try to prove ``hi - lo >= 0`` over the enclosing iteration domain.
+
+    Eliminates outer index variables innermost-first, substituting for each
+    the bound that *minimizes* ``hi - lo`` (its lower bound for a positive
+    coefficient, upper for negative); a loop's own bounds over-approximate
+    the values its variable takes, so a completed proof is sound.  Returns
+    True only when elimination ends in a non-negative constant — e.g. the
+    classic triangular ``j in [0, i]`` under ``i in [0, N-1]`` proves via
+    ``i >= 0``, keeping its polynomial closed form.
+    """
+    d = affine_from_symbolic(hi - lo)
+    if d is None:
+        return False
+    for k in range(depth - 1, -1, -1):
+        level = nest.levels[k]
+        c = d.coeff(level.var)
+        if c == 0:
+            continue
+        bound = affine_from_symbolic(level.lb if c > 0 else level.ub)
+        if bound is None:
+            return False
+        d = d.drop_var(level.var) + bound.scale(c)
+    return d.is_constant() and d.const >= 0
+
+
+def count_nest(nest: LoopNest, body: Expr | int = 1,
+               assumptions: list | None = None) -> Expr:
     """Count ``sum over the nest's lattice points of body`` symbolically.
 
     The result is exact: a (quasi-)polynomial in the nest parameters when
     closed forms exist, otherwise an expression containing lazy ``Sum`` nodes
     that evaluate numerically (still exactly) when parameters are bound.
+
+    When ``assumptions`` is a list, every *unproven* application of the
+    well-formed-loop assumption appends the loop's extent expression
+    (``hi - lo + 1``), which the count is only valid for when non-negative.
+    Callers can check these against concrete parameter bindings (a caller
+    passing ``m = 1`` into ``for (i = 2; i < m; i++)`` lands outside the
+    validity domain, and the polynomial count goes negative).
     """
     body = as_expr(body)
     if not nest.levels:
@@ -349,8 +383,21 @@ def count_nest(nest: LoopNest, body: Expr | int = 1) -> Expr:
         hi_iv = interval_eval(hi, ivs)
         if lo_iv is not None and hi_iv is not None:
             clamp = hi_iv[0] - lo_iv[1] + 1 < 0  # can the range be empty?
+        elif (lo.free_symbols() | hi.free_symbols()) \
+                & {l.var for l in nest.levels[:depth]}:
+            # A bound varying with an enclosing index can empty the level
+            # for part of the outer domain even in a plain loop (e.g.
+            # ``for (j = i; j <= 0; j++)``) — the well-formed-loop
+            # assumption only covers parameters.  Clamp unless provably
+            # non-empty.
+            clamp = not _provably_nonempty(nest, depth, lo, hi)
         else:
             clamp = tightened
+            if not clamp and assumptions is not None \
+                    and nest.levels[depth].step == 1:
+                extent = hi - lo + Int(1)
+                if extent not in assumptions:
+                    assumptions.append(extent)
         expr = _sum_level(expr, nest.levels[depth], lo, hi, mods,
                           clamp=clamp, ivs=ivs)
     return expr

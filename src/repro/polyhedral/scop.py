@@ -8,8 +8,8 @@ and translates ``if`` conditions into polyhedral :class:`Constraint` rows.
 Supported shapes (everything in the paper's listings):
 
 * ``for (i = L; i <  U; i++)``  / ``<=`` / ``>`` / ``>=``
-* ``for (i = L; ...; i += c)`` and ``i -= c`` (downward loops normalized —
-  iteration counts are direction-invariant)
+* ``for (i = L; ...; i += c)`` and ``i -= c`` (downward loops normalized to
+  the mirrored upward loop, anchored in the start's residue class)
 * bounds that are affine in outer indices and parameters, possibly via
   ``min(...)``/``max(...)`` calls (flagged non-convex where appropriate)
 * conditions ``aff <op> aff`` with op in < <= > >= == and
@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from ..errors import PolyhedralError
 from ..frontend import ast_nodes as A
-from ..symbolic import Expr, Int, Max, Min, Sym, as_expr
+from ..symbolic import Expr, FloorDiv, Int, Max, Min, Sym, as_expr
 from .affine import AffineExpr, Constraint, affine_from_symbolic
 from .polyhedron import NestLevel
 
@@ -180,9 +180,14 @@ def extract_level(loop: A.ForStmt, *, bindings: dict | None = None) -> NestLevel
             lb, ub = bound, start
         else:
             raise ScopError(f"downward loop with condition {op!r}")
-        # Downward loop visits the same lattice points as the mirrored upward
-        # loop with the same |step|.
-        return NestLevel(var, lb, ub, -step.amount)
+        # Downward loop visits start, start-s, ...: the mirrored upward loop
+        # matches those lattice points only when anchored in the *start's*
+        # residue class, so raise lb to the lowest visited point
+        # (identity when (ub - lb) % s == 0, and always for s == 1).
+        step_abs = -step.amount
+        if step_abs != 1:
+            lb = ub - Int(step_abs) * FloorDiv.make(ub - lb, Int(step_abs))
+        return NestLevel(var, lb, ub, step_abs)
 
 
 def condition_to_constraints(cond: A.Expr, *, bindings: dict | None = None) -> list[Constraint]:

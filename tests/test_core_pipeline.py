@@ -335,3 +335,62 @@ class TestRecursionGuard:
         src = "int f(int n) { return f(n - 1); }"
         with pytest.raises(ModelError):
             Mira().analyze(src)
+
+
+class TestValidityAssumptions:
+    """Unproven well-formed-loop extents are advertised as validity-domain
+    assumptions; call bindings that statically violate one become warnings
+    (the counts would otherwise go silently negative — found by the
+    differential fuzzer, tests/fuzz_corpus/parametric-empty-range.json)."""
+
+    SRC = """
+    double s;
+    void f(int m) {
+      for (int i = 2; i < m; i++)
+        s = s + 1.5;
+    }
+    int main() { f(%s); return 0; }
+    """
+
+    def test_parametric_extent_is_assumed(self):
+        model = Mira().analyze(self.SRC % "9")
+        (a,) = model.assumptions("f")
+        # extent of [2, m-1] is m - 2: exact only where m >= 2
+        assert a.evaluate({"m": 9}) == 7
+        assert a.evaluate({"m": 1}) == -1
+
+    def test_violating_call_warns(self):
+        model = Mira().analyze(self.SRC % "1")
+        assert not model.warnings("f")
+        assert any("validity domain" in w for w in model.warnings("main"))
+        # the satisfied variant stays warning-free and exact
+        ok = Mira().analyze(self.SRC % "4")
+        assert not ok.warnings()
+        assert ok.fp_instructions("main") == 2
+        assert not ok.assumptions("main")
+
+    def test_symbolic_binding_inherits_assumption(self):
+        src = """
+        double s;
+        void f(int m) {
+          for (int i = 2; i < m; i++)
+            s = s + 1.5;
+        }
+        void g(int n) { f(n); }
+        int main() { g(5); return 0; }
+        """
+        model = Mira().analyze(src)
+        assert any(a.evaluate({"n": 1}) < 0 and a.evaluate({"n": 5}) >= 0
+                   for a in model.assumptions("g"))
+        # g(5) satisfies it, so main carries no residue
+        assert not model.assumptions("main")
+        assert not model.warnings()
+
+    def test_assumptions_serialize(self):
+        from repro.core.result import AnalysisResult
+
+        model = Mira().analyze(self.SRC % "9")
+        restored = AnalysisResult.from_json(model.to_json())
+        assert restored.to_dict() == model.to_dict()
+        assert [str(a) for a in restored.assumptions("f")] == \
+            [str(a) for a in model.assumptions("f")]

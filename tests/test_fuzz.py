@@ -1,0 +1,280 @@
+"""Tests for the differential-fuzzing subsystem itself.
+
+Covers the generator (determinism, grammar discipline, interval analysis),
+the oracle stack (green on a seed range, verdict bookkeeping), the
+shrinker (convergence, determinism, minimality), the campaign runner
+(budget, stats, seed derivation) and the ``mira fuzz`` CLI (JSON schema).
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import AnalysisConfig
+from repro.core.pipeline import Pipeline
+from repro.fuzz.generator import (ALL_FEATURES, GeneratedProgram, RawProgram,
+                                  generate_program, max_trips,
+                                  render_program, spec_from_dict,
+                                  spec_to_dict, var_intervals)
+from repro.fuzz.oracles import ORACLE_NAMES, OracleVerdict, run_oracles
+from repro.fuzz.runner import (FUZZ_SCHEMA_VERSION, case_seed,
+                               load_reproducer, run_campaign,
+                               save_reproducer)
+from repro.fuzz.shrink import shrink_program
+from repro.cli import main as cli_main
+
+SEEDS = range(12)
+
+
+# ---------------------------------------------------------------------------
+# generator
+# ---------------------------------------------------------------------------
+
+class TestGenerator:
+    def test_deterministic(self):
+        for seed in SEEDS:
+            a = generate_program(seed)
+            b = generate_program(seed)
+            assert a.spec == b.spec
+            for mode in ("concrete", "runtime", "symbolic"):
+                assert a.source(mode) == b.source(mode)
+
+    def test_different_seeds_differ(self):
+        sources = {generate_program(s).source("concrete") for s in range(30)}
+        assert len(sources) > 20   # near-no collisions
+
+    def test_programs_analyze_cleanly(self):
+        # every generated program must run the full static pipeline without
+        # raising, in every render mode
+        for seed in SEEDS:
+            p = generate_program(seed)
+            for mode in ("concrete", "runtime", "symbolic"):
+                res = Pipeline(p.config(mode)).run(p.source(mode))
+                assert res.models
+
+    def test_spec_json_roundtrip(self):
+        for seed in SEEDS:
+            spec = generate_program(seed).spec
+            loaded = spec_from_dict(spec_to_dict(spec))
+            assert loaded == spec
+            # the round-tripped spec renders byte-identically
+            assert render_program(loaded) == render_program(spec)
+
+    def test_trip_counts_bounded(self):
+        for seed in range(40):
+            p = generate_program(seed)
+            for fn in p.spec.functions:
+                assert max_trips(fn, p.spec) <= 4000
+
+    def test_array_indexes_in_declared_bounds(self):
+        # interval analysis must size the shared arrays so that every
+        # index stays in bounds (out-of-bounds would crash the interpreter
+        # on a program the static side happily models)
+        for seed in range(40):
+            p = generate_program(seed)
+            src = p.source("concrete")
+            for fn in p.spec.functions:
+                env = var_intervals(fn, p.spec)
+                for st in fn.body:
+                    for iv in (st.idx, st.idx2):
+                        if iv is None:
+                            continue
+                        lo, hi = env[iv]
+                        assert lo >= 0
+                        assert f"[{hi + 1}]" not in src or True
+                        for decl in ("int va[", "double xa["):
+                            at = src.find(decl)
+                            if at >= 0:
+                                ext = int(src[at + len(decl):
+                                              src.index("]", at)])
+                                assert hi < ext
+
+    def test_symbolic_mode_declares_params(self):
+        for seed in SEEDS:
+            p = generate_program(seed)
+            if not p.spec.sizes:
+                continue
+            cfg = p.config("symbolic")
+            assert set(cfg.symbolic_params) == set(p.bindings())
+
+    def test_feature_gating(self):
+        # with every structural feature off, programs reduce to plain
+        # constant-bound nests over acc
+        p = generate_program(5, features=())
+        src = p.source("concrete")
+        assert "while" not in src and "%" not in src and "[" not in src
+
+    def test_raw_program_interface(self):
+        raw = RawProgram(raw="int acc;\nint main() { return acc; }\n")
+        assert raw.source("concrete") == raw.source("symbolic")
+        assert raw.bindings() == {} and raw.sweep_grid() == {}
+        assert raw.spec.sizes == ()
+
+
+# ---------------------------------------------------------------------------
+# oracles
+# ---------------------------------------------------------------------------
+
+class TestOracles:
+    def test_stack_green_on_seed_range(self):
+        for seed in SEEDS:
+            report = run_oracles(generate_program(seed))
+            assert report.ok, (
+                seed, report.error,
+                [v.to_dict() for v in report.failed()])
+            assert [v.oracle for v in report.verdicts] == list(ORACLE_NAMES)
+
+    def test_oracle_subset_and_unknown(self):
+        report = run_oracles(generate_program(0), oracles=["serialize"])
+        assert [v.oracle for v in report.verdicts] == ["serialize"]
+        with pytest.raises(Exception):
+            run_oracles(generate_program(0), oracles=["nope"])
+
+    def test_static_dynamic_skips_on_warnings(self):
+        # a while loop's trip count is advertised as a parameter; the
+        # exactness oracle must skip, not fail
+        prog = RawProgram(raw="""int acc;
+int main() {
+  int i = 0;
+  while (i < 5) { i++; acc = acc + 1; }
+  return acc;
+}
+""")
+        report = run_oracles(prog, oracles=["static_dynamic"])
+        assert report.ok
+        (v,) = report.verdicts
+        assert v.skipped
+
+    def test_crash_is_a_finding(self):
+        # an analysis crash inside an oracle is reported, not raised
+        prog = RawProgram(raw="int main() { return undeclared; }\n")
+        report = run_oracles(prog, oracles=["static_dynamic"])
+        assert not report.ok
+        assert report.error
+
+    def test_verdict_to_dict(self):
+        v = OracleVerdict("engines", True, skipped=False, detail="")
+        assert v.to_dict() == {"oracle": "engines", "ok": True,
+                               "skipped": False, "detail": ""}
+
+
+# ---------------------------------------------------------------------------
+# shrinker
+# ---------------------------------------------------------------------------
+
+def _failing_on_fp(program):
+    """A synthetic failure predicate: 'bug' whenever the concrete render
+    contains an fp-array statement."""
+    return "xa[" in program.source("concrete")
+
+
+class TestShrinker:
+    def _pick_program(self):
+        for seed in range(200):
+            p = generate_program(seed)
+            if _failing_on_fp(p):
+                return p
+        raise AssertionError("no seed produced an fp-array statement")
+
+    def test_converges_and_preserves_failure(self):
+        p = self._pick_program()
+        small = shrink_program(p, _failing_on_fp)
+        assert _failing_on_fp(small)
+        assert len(small.source("concrete")) <= len(p.source("concrete"))
+
+    def test_deterministic(self):
+        p = self._pick_program()
+        a = shrink_program(p, _failing_on_fp)
+        b = shrink_program(p, _failing_on_fp)
+        assert a.spec == b.spec
+
+    def test_local_minimum_single_function(self):
+        p = self._pick_program()
+        small = shrink_program(p, _failing_on_fp)
+        # minimal for this predicate: one function left, and it cannot
+        # lose its last fp statement
+        assert len(small.spec.functions) == 1
+
+    def test_crashing_candidate_not_accepted(self):
+        p = self._pick_program()
+
+        def flaky(candidate):
+            if len(candidate.spec.functions) < len(p.spec.functions):
+                raise RuntimeError("candidate crashed")
+            return _failing_on_fp(candidate)
+
+        small = shrink_program(p, flaky)
+        assert len(small.spec.functions) == len(p.spec.functions)
+
+
+# ---------------------------------------------------------------------------
+# campaign runner
+# ---------------------------------------------------------------------------
+
+class TestRunner:
+    def test_case_seed_decouples_index(self):
+        assert case_seed(3, 7) == case_seed(3, 7)
+        assert case_seed(3, 7) != case_seed(4, 7)
+        assert case_seed(3, 7) != case_seed(3, 8)
+
+    def test_small_campaign_report(self):
+        rep = run_campaign(seed=0, count=3)
+        assert rep.ok and rep.executed == 3
+        doc = rep.to_dict()
+        assert doc["schema_version"] == FUZZ_SCHEMA_VERSION
+        assert doc["kind"] == "FuzzReport"
+        assert set(doc["oracle_stats"]) == set(ORACLE_NAMES)
+        for st in doc["oracle_stats"].values():
+            assert st["passed"] + st["failed"] + st["skipped"] == 3
+        json.loads(rep.to_json())   # serializable
+
+    def test_budget_stops_early(self):
+        rep = run_campaign(seed=0, count=10_000, budget_s=0.0)
+        assert rep.budget_exhausted
+        assert rep.executed < 10_000
+
+    def test_reproducer_roundtrip(self, tmp_path):
+        from repro.fuzz.runner import Divergence
+        from repro.fuzz.oracles import CaseReport
+
+        program = generate_program(1)
+        report = CaseReport(program=program)
+        report.verdicts.append(
+            OracleVerdict("engines", False, detail="synthetic"))
+        path = save_reproducer(str(tmp_path), Divergence(report))
+        loaded = load_reproducer(path)
+        assert loaded.spec == program.spec
+        assert loaded.source("concrete") == program.source("concrete")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_fuzz_json_schema(self, capsys):
+        rc = cli_main(["fuzz", "--seed", "3", "--count", "2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "FuzzReport"
+        assert doc["schema_version"] == FUZZ_SCHEMA_VERSION
+        assert doc["ok"] is True
+        assert doc["executed"] == 2
+        assert doc["seed"] == 3
+
+    def test_fuzz_text_output(self, capsys):
+        rc = cli_main(["fuzz", "--seed", "3", "--count", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuzz campaign" in out and "no divergence found" in out
+
+    def test_fuzz_oracle_subset(self, capsys):
+        rc = cli_main(["fuzz", "--seed", "0", "--count", "1",
+                       "--oracles", "serialize,cache", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["oracles"] == ["serialize", "cache"]
+
+    def test_fuzz_unknown_oracle_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fuzz", "--count", "1", "--oracles", "bogus"])

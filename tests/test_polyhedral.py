@@ -108,8 +108,19 @@ class TestScopExtraction:
         assert (lvl.lb, lvl.ub, lvl.step) == (Int(1), Int(10), 1)
 
     def test_downward_ge(self):
+        # visits 9, 7, 5, 3, 1: anchored in the start's residue class,
+        # so the mirrored upward loop begins at 1, not at the bound 0
         lvl = extract_level(_first_loop("for (i = 9; i >= 0; i -= 2) ;"))
-        assert (lvl.lb, lvl.ub, lvl.step) == (Int(0), Int(9), 2)
+        assert (lvl.lb, lvl.ub, lvl.step) == (Int(1), Int(9), 2)
+
+    def test_downward_stride_residue(self):
+        # found by the differential fuzzer: the lattice points of a
+        # strided downward loop are start, start-s, ... — not lb, lb+s, ...
+        lvl = extract_level(_first_loop("for (i = 13; i > 1; i -= 2) ;"))
+        assert (lvl.lb, lvl.ub, lvl.step) == (Int(3), Int(13), 2)
+        nest = LoopNest().add_level(lvl)
+        pts = [p["i"] for p in nest.enumerate_points()]
+        assert pts == [3, 5, 7, 9, 11, 13]
 
     def test_parametric_bound(self):
         lvl = extract_level(_first_loop("for (i = 0; i < n; i++) ;"))
