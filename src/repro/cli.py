@@ -28,11 +28,23 @@ Subcommands::
         loop-coverage report (paper Table I columns)
     mira profile FILE [--entry main]
         run under the dynamic substrate (TAU analog), print category counts
+    mira diff FILE_A FILE_B [--json]
+        analyze both files incrementally (sharing the per-function model
+        cache) and print the symbolic model diff: added/removed/changed
+        functions with per-category before → after expressions and a
+        polynomial classification (exit 1 when the models differ)
+    mira diff FILE --watch [--interval S] [--count N]
+        re-analyze FILE whenever it changes and print the model diff
+        against the previous version plus incremental-analysis stats
+    mira cache info|clear [--cache-dir D] [--json]
+        report the on-disk model cache census (entries, bytes, lifetime
+        hit/miss counters) or clear it
     mira fuzz [--seed S] [--count N] [--budget-s T] [--oracles a,b]
         differential fuzzing: generate random programs and demand exact
         agreement across every independent evaluation path (static model vs
         interpreter, tree-walk vs compiled vs vectorized, JSON round-trip,
-        cold vs warm cache); shrink and optionally persist any divergence
+        cold vs warm cache, incremental vs cold); shrink and optionally
+        persist any divergence
     mira arch-template
         print a JSON architecture description template to customize
 
@@ -47,6 +59,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from .binary import disassemble, format_listing
 from .compiler.arch import default_arch, load_arch
@@ -442,6 +455,118 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _incremental_stats(result) -> dict:
+    """How much of an IncrementalAnalyzer result came from the cache."""
+    return {"restored": sorted(result.restored_functions),
+            "fresh": result.fresh_functions()}
+
+
+def cmd_diff(args) -> int:
+    from .core.incremental import IncrementalAnalyzer
+
+    config = _config_from_args(args).with_changes(
+        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    analyzer = IncrementalAnalyzer(config)
+    if args.watch:
+        if args.file_b:
+            raise SystemExit("mira diff: --watch takes a single FILE")
+        return _watch_diff(analyzer, args)
+    if not args.file_b:
+        raise SystemExit("mira diff: need FILE_A FILE_B (or FILE --watch)")
+    a = analyzer.analyze_file(args.file)
+    b = analyzer.analyze_file(args.file_b)
+    diff = a.diff(b)
+    if args.json:
+        doc = diff.to_dict()
+        doc["incremental"] = {"a": _incremental_stats(a),
+                              "b": _incremental_stats(b)}
+        _emit_json(doc)
+    else:
+        print(diff.format())
+        for side, res in (("a", a), ("b", b)):
+            st = _incremental_stats(res)
+            print(f"# {side}: {len(st['restored'])} function(s) restored "
+                  f"from cache, {len(st['fresh'])} analyzed fresh")
+    return 0 if diff.identical else 1
+
+
+def _watch_diff(analyzer, args) -> int:
+    path = args.file
+    baseline = analyzer.analyze_file(path)
+    st = _incremental_stats(baseline)
+    if not args.json:
+        print(f"# watching {path} every {args.interval}s "
+              f"(Ctrl-C to stop)")
+        print(f"# baseline: {len(baseline.models)} function(s), "
+              f"{len(st['restored'])} restored, "
+              f"{len(st['fresh'])} fresh")
+    last = os.stat(path).st_mtime_ns
+    remaining = args.count
+    try:
+        while remaining is None or remaining > 0:
+            time.sleep(args.interval)
+            try:
+                mtime = os.stat(path).st_mtime_ns
+            except OSError:
+                continue   # editor atomic-replace window: retry next tick
+            if mtime == last:
+                continue
+            last = mtime
+            try:
+                current = analyzer.analyze_file(path)
+            except Exception as exc:   # mid-edit syntax errors, typically
+                print(f"mira diff: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                continue
+            diff = baseline.diff(current)
+            st = _incremental_stats(current)
+            if args.json:
+                doc = diff.to_dict()
+                doc["incremental"] = st
+                doc.setdefault("schema_version", JSON_SCHEMA_VERSION)
+                print(json.dumps(doc), flush=True)
+            else:
+                print(diff.format())
+                print(f"# incremental: {len(st['restored'])} restored, "
+                      f"{len(st['fresh'])} re-analyzed "
+                      f"({', '.join(st['fresh']) or 'none'})")
+            baseline = current
+            if remaining is not None:
+                remaining -= 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .core.batch import ModelCache
+
+    cache = ModelCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        if args.json:
+            return _emit_json({"kind": "CacheReport",
+                               "cache_dir": cache.cache_dir,
+                               "cleared": removed})
+        print(f"cleared {removed} cached payload(s) from {cache.cache_dir}")
+        return 0
+    entries = cache.entry_stats()
+    lifetime = cache.persisted_stats()
+    if args.json:
+        return _emit_json({"kind": "CacheReport",
+                           "cache_dir": cache.cache_dir,
+                           "entries": entries,
+                           "lifetime": lifetime})
+    print(f"# model cache at {cache.cache_dir}")
+    print(f"{entries['file_entries']:>12}  whole-file entries")
+    print(f"{entries['function_entries']:>12}  per-function entries")
+    print(f"{entries['bytes']:>12}  bytes on disk")
+    print(f"{lifetime['hits']:>12}  lifetime hits")
+    print(f"{lifetime['misses']:>12}  lifetime misses")
+    print(f"{lifetime['stores']:>12}  lifetime stores")
+    return 0
+
+
 def cmd_arch_template(args) -> int:
     print(default_arch().to_json())
     return 0
@@ -541,6 +666,39 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--entry", default="main")
     common(p)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("diff",
+                       help="symbolic model diff between two sources "
+                            "(or one source over time with --watch)")
+    p.add_argument("file", metavar="FILE_A")
+    p.add_argument("file_b", nargs="?", default=None, metavar="FILE_B",
+                   help="the after version (omit with --watch)")
+    p.add_argument("--watch", action="store_true",
+                   help="poll FILE_A and diff each saved version against "
+                        "the previous one")
+    p.add_argument("--interval", type=float, default=0.5, metavar="S",
+                   help="--watch poll interval in seconds (default 0.5)")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="stop --watch after N diffs (default: run until "
+                        "Ctrl-C)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="per-function model cache directory "
+                        "(default ~/.cache/mira/models)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk model cache")
+    common(p)
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the on-disk model cache")
+    p.add_argument("action", choices=("info", "clear"),
+                   help="info: entry census + lifetime hit/miss counters; "
+                        "clear: delete every cached payload")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default ~/.cache/mira/models)")
+    p.add_argument("--json", action="store_true",
+                   help="emit a schema-versioned JSON document")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("fuzz",
                        help="differential fuzzing: random programs through "

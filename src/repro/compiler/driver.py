@@ -66,8 +66,17 @@ def _is_label_marker(ins: Instruction) -> bool:
 
 
 def compile_tu(tu: A.TranslationUnit, opt_level: int = 2,
-               source_file: str | None = None) -> ObjectFile:
-    """Compile a parsed translation unit into an object file."""
+               source_file: str | None = None,
+               only: set | frozenset | None = None) -> ObjectFile:
+    """Compile a parsed translation unit into an object file.
+
+    ``only`` restricts lowering to the named functions (qualified names)
+    while the symbol/layout tables still cover the whole TU, so each
+    emitted function's instruction stream is byte-identical to a full
+    compile — the incremental engine's subset-compile entry point.  Calls
+    into non-lowered functions stay symbolic references, exactly like
+    calls into prototype-only functions in a full compile.
+    """
     if not 0 <= opt_level <= 3:
         raise CompileError(f"bad optimization level {opt_level}")
     fold_constants(tu)
@@ -76,12 +85,14 @@ def compile_tu(tu: A.TranslationUnit, opt_level: int = 2,
     globals_table = build_globals_table(tu, layouts)
     func_table = {f.qualified_name: f for f in tu.all_functions()}
 
-    # ---- lower all functions -------------------------------------------------
+    # ---- lower the selected functions ----------------------------------------
     lowered: list[tuple[A.FunctionDef, list[Instruction]]] = []
     rodata = bytearray()
     rodata_syms: list[Symbol] = []
     for fn in tu.all_functions():
         if fn.info.get("prototype_only"):
+            continue
+        if only is not None and fn.qualified_name not in only:
             continue
         instrs, float_pool = lower_function(
             fn, tu, layouts, globals_table, func_table, opt_level)

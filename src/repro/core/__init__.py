@@ -15,6 +15,7 @@ from .batch import (BatchAnalyzer, BatchItem, BatchReport, BatchResult,
                     FunctionSummary, ModelCache, payload_from_result)
 from .config import CONFIG_SCHEMA_VERSION, AnalysisConfig
 from .coverage import CoverageReport, loop_coverage, loop_coverage_source
+from .incremental import IncrementalAnalyzer
 from .input_processor import (InputProcessor, ProcessedInput,
                               source_fingerprint)
 from .metric_generator import (CallTerm, FunctionModel, GeneratorOptions,
@@ -23,23 +24,29 @@ from .mira import Mira, MiraModel
 from .model_generator import (compile_model, evaluate_model,
                               generate_model_source, model_entry_name)
 from .model_runtime import Metrics, handle_function_call
-from .pipeline import (STAGE_RUN_COUNTS, STAGES, Pipeline, PipelineState,
-                       StageEvent, reset_stage_counters)
-from .result import RESULT_SCHEMA_VERSION, AnalysisResult
+from .pipeline import (FUNC_STAGE_RUN_COUNTS, STAGE_RUN_COUNTS, STAGES,
+                       Pipeline, PipelineState, StageEvent,
+                       reset_stage_counters)
+from .result import (RESULT_SCHEMA_VERSION, AnalysisResult,
+                     assemble_result, function_payload,
+                     restore_function_model)
 from .sweep import SweepPoint, SweepResult, run_model_sweep, sweep_source
+from .units import FunctionUnit, build_units
 
 __all__ = [
     "AnalysisConfig", "AnalysisResult", "BatchAnalyzer", "BatchItem",
     "BatchReport", "BatchResult", "CONFIG_SCHEMA_VERSION", "CallTerm",
-    "CoverageReport", "FunctionModel", "FunctionSummary", "GeneratorOptions",
-    "InputProcessor", "Metrics", "MetricGenerator", "MetricTerm", "Mira",
-    "MiraModel", "ModelCache", "Pipeline", "PipelineState", "ProcessedInput",
-    "RESULT_SCHEMA_VERSION", "RooflineEstimate", "STAGES",
-    "STAGE_RUN_COUNTS", "StageEvent", "SweepPoint", "SweepResult",
-    "arithmetic_intensity", "compile_model", "evaluate_model",
-    "generate_model_source", "handle_function_call",
+    "CoverageReport", "FUNC_STAGE_RUN_COUNTS", "FunctionModel",
+    "FunctionSummary", "FunctionUnit", "GeneratorOptions",
+    "IncrementalAnalyzer", "InputProcessor", "Metrics", "MetricGenerator",
+    "MetricTerm", "Mira", "MiraModel", "ModelCache", "Pipeline",
+    "PipelineState", "ProcessedInput", "RESULT_SCHEMA_VERSION",
+    "RooflineEstimate", "STAGES", "STAGE_RUN_COUNTS", "StageEvent",
+    "SweepPoint", "SweepResult", "arithmetic_intensity",
+    "assemble_result", "build_units", "compile_model", "evaluate_model",
+    "function_payload", "generate_model_source", "handle_function_call",
     "instruction_distribution", "loop_coverage", "loop_coverage_source",
     "model_entry_name", "payload_from_result", "reset_stage_counters",
-    "roofline_estimate", "run_model_sweep", "source_fingerprint",
-    "sweep_source",
+    "restore_function_model", "roofline_estimate", "run_model_sweep",
+    "source_fingerprint", "sweep_source",
 ]

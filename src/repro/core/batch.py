@@ -247,19 +247,32 @@ class BatchReport:
 # ---------------------------------------------------------------------------
 
 class ModelCache:
-    """Content-addressed JSON store of per-file analysis payloads.
+    """Content-addressed JSON store of analysis payloads.
 
-    Keys are :meth:`AnalysisConfig.fingerprint` hex digests; a key names its payload
+    Two entry families share one directory: whole-file payloads at
+    ``<cache_dir>/<key[:2]>/<key>.json`` (``key`` =
+    :meth:`AnalysisConfig.fingerprint`) and per-function
+    :class:`~repro.core.metric_generator.FunctionModel` payloads at
+    ``<cache_dir>/fn/<key[:2]>/<key>.json`` (``key`` = the function-unit
+    fingerprint from :mod:`repro.core.units`).  A key names its payload
     forever, so entries are immutable and eviction is just file deletion.
-    Writes are atomic (``os.replace`` of a temp file), which makes the cache
-    safe under concurrent batch runs sharing a directory.
+    Writes are atomic (``os.replace`` of a temp file), which makes the
+    cache safe under concurrent runs sharing a directory.
+
+    Hit/miss/store counters accumulate in-process and can be folded into a
+    persistent ``stats.json`` in the cache directory via
+    :meth:`persist_stats`, so ``mira cache info`` reports lifetime usage
+    across processes.
     """
+
+    STATS_FILE = "stats.json"
 
     def __init__(self, cache_dir: str | None = None) -> None:
         self.cache_dir = cache_dir or self.default_dir()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self._persisted_mark = {"hits": 0, "misses": 0, "stores": 0}
 
     @staticmethod
     def default_dir() -> str:
@@ -270,9 +283,12 @@ class ModelCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, key[:2], f"{key}.json")
 
-    def get(self, key: str) -> dict | None:
+    def _fn_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, "fn", key[:2], f"{key}.json")
+
+    def _read(self, path: str) -> dict | None:
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             self.hits += 1
             return payload
@@ -280,8 +296,7 @@ class ModelCache:
             self.misses += 1
             return None
 
-    def put(self, key: str, payload: dict) -> None:
-        path = self._path(key)
+    def _write(self, path: str, payload: dict) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
@@ -296,22 +311,96 @@ class ModelCache:
             except OSError:
                 pass
 
+    def get(self, key: str) -> dict | None:
+        return self._read(self._path(key))
+
+    def put(self, key: str, payload: dict) -> None:
+        self._write(self._path(key), payload)
+
+    def get_function(self, key: str) -> dict | None:
+        """A per-function payload (see ``repro.core.result
+        .function_payload``), or None on a miss."""
+        return self._read(self._fn_path(key))
+
+    def put_function(self, key: str, payload: dict) -> None:
+        self._write(self._fn_path(key), payload)
+
     def clear(self) -> int:
-        """Delete every cached payload; returns the number removed."""
+        """Delete every cached payload (file and function entries) and the
+        persisted stats; returns the number of payloads removed."""
         removed = 0
+        stats_path = os.path.join(self.cache_dir, self.STATS_FILE)
         for dirpath, _dirnames, filenames in os.walk(self.cache_dir):
             for fn in filenames:
-                if fn.endswith(".json"):
-                    try:
-                        os.unlink(os.path.join(dirpath, fn))
-                        removed += 1
-                    except OSError:
-                        pass
+                path = os.path.join(dirpath, fn)
+                if path == stats_path or not fn.endswith(".json"):
+                    continue
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        try:
+            os.unlink(stats_path)
+        except OSError:
+            pass
         return removed
 
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "dir": self.cache_dir}
+
+    def entry_stats(self) -> dict:
+        """On-disk census: entry counts and total bytes per family."""
+        files = functions = total_bytes = 0
+        stats_path = os.path.join(self.cache_dir, self.STATS_FILE)
+        fn_root = os.path.join(self.cache_dir, "fn")
+        for dirpath, _dirnames, filenames in os.walk(self.cache_dir):
+            for fn in filenames:
+                path = os.path.join(dirpath, fn)
+                if path == stats_path or not fn.endswith(".json"):
+                    continue
+                try:
+                    total_bytes += os.path.getsize(path)
+                except OSError:
+                    continue
+                if os.path.commonpath([fn_root, path]) == fn_root:
+                    functions += 1
+                else:
+                    files += 1
+        return {"file_entries": files, "function_entries": functions,
+                "entries": files + functions, "bytes": total_bytes}
+
+    def persist_stats(self) -> dict:
+        """Fold this object's counter deltas into ``stats.json`` (atomic
+        read-modify-replace) and return the updated lifetime totals."""
+        totals = self.persisted_stats()
+        for k in ("hits", "misses", "stores"):
+            delta = getattr(self, k) - self._persisted_mark[k]
+            totals[k] = totals.get(k, 0) + delta
+            self._persisted_mark[k] = getattr(self, k)
+        path = os.path.join(self.cache_dir, self.STATS_FILE)
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(totals, fh)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+        return totals
+
+    def persisted_stats(self) -> dict:
+        """Lifetime hit/miss/store counters from ``stats.json`` (zeros when
+        absent or unreadable)."""
+        path = os.path.join(self.cache_dir, self.STATS_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            return {k: int(doc.get(k, 0))
+                    for k in ("hits", "misses", "stores")}
+        except (OSError, ValueError, TypeError):
+            return {"hits": 0, "misses": 0, "stores": 0}
 
 
 # ---------------------------------------------------------------------------
@@ -587,11 +676,19 @@ class BatchAnalyzer:
         for i, item in enumerate(items):
             key = run_config.fingerprint(item.source, filename=item.filename)
             if self.cache is not None and key not in specs:
+                t_hit = time.perf_counter()
                 payload = self.cache.get(key)
                 if payload is not None:
                     try:
-                        results[i] = _result_from_payload(
+                        hit = _result_from_payload(
                             item, key, payload, from_cache=True)
+                        if hit.analysis is not None:
+                            # The restored wire doc replays the *cold* run's
+                            # stage times; what actually happened here is a
+                            # cache restore — report that instead.
+                            hit.analysis.stage_timings = {
+                                "cache-hit": time.perf_counter() - t_hit}
+                        results[i] = hit
                         continue
                     except MiraError:
                         # Undecodable stale/corrupt payload: fall through and
@@ -624,6 +721,7 @@ class BatchAnalyzer:
             cache_stats = {k: s1[k] - stats0[k]
                            for k in ("hits", "misses", "stores")}
             cache_stats["dir"] = s1["dir"]
+            self.cache.persist_stats()
         return BatchReport(
             results=[results[i] for i in sorted(results)],
             elapsed=time.perf_counter() - t0,

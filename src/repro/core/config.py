@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, replace
 
 from ..compiler.arch import ArchDescription, default_arch
 from ..errors import MiraError, SchemaError
-from .input_processor import source_fingerprint
+from .input_processor import PIPELINE_VERSION, source_fingerprint
 from .metric_generator import GeneratorOptions
 
 __all__ = ["AnalysisConfig", "CONFIG_SCHEMA_VERSION"]
@@ -123,6 +123,33 @@ class AnalysisConfig:
             filename=filename,
             branch_ratio=self.default_branch_ratio,
             symbolic_params=self.symbolic_params)
+
+    def identity_fingerprint(self, predefined: dict | None = None) -> str:
+        """Source-free identity of the *configuration* itself.
+
+        Every model-affecting knob, but no source and no filename: the
+        per-function cache (:mod:`repro.core.units`) folds this into each
+        function-unit fingerprint, so a config change invalidates every
+        cached function while identical functions can be shared across
+        files.  Cache policy fields (``cache_dir``/``use_cache``) are
+        deliberately excluded — they affect where results live, not what
+        they are."""
+        import hashlib
+
+        material = json.dumps(
+            {
+                "version": PIPELINE_VERSION,
+                "arch": self.arch.fingerprint(),
+                "opt_level": self.opt_level,
+                "branch_ratio": str(self.default_branch_ratio),
+                "predefined": sorted(
+                    (str(k), str(v))
+                    for k, v in self.merged_predefines(predefined).items()),
+                "symbolic_params": list(self.symbolic_params),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     # -- serialization ------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -23,7 +23,9 @@ __all__ = ["ProcessedInput", "InputProcessor", "source_fingerprint"]
 # on-disk model caches self-invalidate instead of replaying old results.
 # v2: cache payloads carry the serialized AnalysisResult wire format.
 # v3: cache payloads carry compiled codegen artifacts (scalar + vector).
-PIPELINE_VERSION = 3
+# v4: the cache also stores per-function FunctionModel payloads keyed on
+#     function-unit fingerprints (the incremental engine).
+PIPELINE_VERSION = 4
 
 
 def source_fingerprint(source: str, arch: ArchDescription, opt_level: int,

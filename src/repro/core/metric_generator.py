@@ -46,7 +46,71 @@ from ..polyhedral.counting import count_nest
 from ..symbolic import Expr, Int, Sym, as_expr
 
 __all__ = ["MetricTerm", "CallTerm", "FunctionModel", "MetricGenerator",
-           "GeneratorOptions"]
+           "GeneratorOptions", "resolve_callee", "direct_callees"]
+
+
+# ---------------------------------------------------------------------------
+# call resolution (module-level: shared with the pre-modeling call graph the
+# incremental engine builds in repro.core.units)
+# ---------------------------------------------------------------------------
+
+def var_class(tu: A.TranslationUnit, name: str,
+              fn: A.FunctionDef) -> str | None:
+    """The class of a named variable visible in ``fn`` (local, parameter,
+    or global), or None when it is not of class type."""
+    class_names = {c.name for c in tu.classes}
+    for node in A.walk(fn.body):
+        if isinstance(node, A.DeclStmt):
+            for d in node.decls:
+                if d.name == name and d.type.name in class_names:
+                    return d.type.name
+    for p in fn.params:
+        if p.name == name and p.type.name in class_names:
+            return p.type.name
+    for g in tu.globals:
+        for d in g.decls:
+            if d.name == name and d.type.name in class_names:
+                return d.type.name
+    return None
+
+
+def resolve_callee(tu: A.TranslationUnit, call: A.Call,
+                   fn: A.FunctionDef) -> A.FunctionDef | None:
+    """The user-function a call site targets, or None for builtins/library
+    calls (invisible to static analysis)."""
+    if isinstance(call.callee, A.Member):
+        if not isinstance(call.callee.obj, A.Ident):
+            return None
+        cls = var_class(tu, call.callee.obj.name, fn)
+        if cls is None:
+            return None
+        return tu.find_function(call.callee.name, cls)
+    if isinstance(call.callee, A.Ident):
+        name = call.callee.name
+        target = tu.find_function(name, None)
+        if target is not None and not target.info.get("prototype_only"):
+            return target
+        # functor? look for a local/global variable of class type
+        cls = var_class(tu, name, fn)
+        if cls is not None:
+            return tu.find_function("operator()", cls)
+        return None
+    return None
+
+
+def direct_callees(tu: A.TranslationUnit, fn: A.FunctionDef) -> list[str]:
+    """Qualified names of the user functions ``fn`` calls directly
+    (deduplicated, first-call order, self-calls included)."""
+    out: list[str] = []
+    seen: set = set()
+    for node in A.walk(fn.body):
+        if not isinstance(node, A.Call):
+            continue
+        callee = resolve_callee(tu, node, fn)
+        if callee is not None and callee.qualified_name not in seen:
+            seen.add(callee.qualified_name)
+            out.append(callee.qualified_name)
+    return out
 
 
 @dataclass
@@ -216,14 +280,35 @@ class MetricGenerator:
         self.opts = options or GeneratorOptions()
 
     # ------------------------------------------------------------------ api
-    def generate(self) -> dict[str, FunctionModel]:
+    def generate(self, only: set | frozenset | None = None,
+                 presolved: dict | None = None) -> dict[str, FunctionModel]:
+        """Build models for every function in the TU.
+
+        ``only`` restricts fresh generation to the named functions;
+        everything else must be supplied through ``presolved`` (restored
+        :class:`FunctionModel` instances whose params/assumptions are
+        already final — the incremental engine's cache hits).  Parameter
+        and assumption closure then run only over the fresh subset, with
+        presolved callee models read as-is, so a mixed run is bit-identical
+        to a full cold run."""
         models: dict[str, FunctionModel] = {}
+        fresh: set = set()
         for fn in self.tu.all_functions():
             if fn.info.get("prototype_only"):
                 continue
-            models[fn.qualified_name] = self.generate_function(fn)
-        self._resolve_parameters(models)
-        self._close_assumptions(models)
+            qname = fn.qualified_name
+            if only is not None and qname not in only:
+                if presolved is None or qname not in presolved:
+                    raise ModelError(
+                        f"incremental generate: no presolved model for "
+                        f"{qname!r} and it is not in the fresh set")
+                models[qname] = presolved[qname]
+                continue
+            models[qname] = self.generate_function(fn)
+            fresh.add(qname)
+        fresh_only = fresh if only is not None else None
+        self._resolve_parameters(models, fresh_only)
+        self._close_assumptions(models, fresh_only)
         return models
 
     def generate_function(self, fn: A.FunctionDef) -> FunctionModel:
@@ -536,43 +621,7 @@ class MetricGenerator:
                                         node.line, arg_map))
 
     def _resolve_callee(self, call: A.Call, model: FunctionModel):
-        if isinstance(call.callee, A.Member):
-            cls = self._receiver_class(call.callee.obj, model.fn)
-            if cls is None:
-                return None
-            return self.tu.find_function(call.callee.name, cls)
-        if isinstance(call.callee, A.Ident):
-            name = call.callee.name
-            fn = self.tu.find_function(name, None)
-            if fn is not None and not fn.info.get("prototype_only"):
-                return fn
-            # functor? look for a local/global variable of class type
-            cls = self._var_class(name, model.fn)
-            if cls is not None:
-                return self.tu.find_function("operator()", cls)
-            return None
-        return None
-
-    def _receiver_class(self, obj: A.Expr, fn: A.FunctionDef) -> str | None:
-        if isinstance(obj, A.Ident):
-            return self._var_class(obj.name, fn)
-        return None
-
-    def _var_class(self, name: str, fn: A.FunctionDef) -> str | None:
-        class_names = {c.name for c in self.tu.classes}
-        for node in A.walk(fn.body):
-            if isinstance(node, A.DeclStmt):
-                for d in node.decls:
-                    if d.name == name and d.type.name in class_names:
-                        return d.type.name
-        for p in fn.params:
-            if p.name == name and p.type.name in class_names:
-                return p.type.name
-        for g in self.tu.globals:
-            for d in g.decls:
-                if d.name == name and d.type.name in class_names:
-                    return d.type.name
-        return None
+        return resolve_callee(self.tu, call, model.fn)
 
     def _map_call_args(self, call: A.Call, callee: A.FunctionDef) -> dict:
         """Bind callee source parameters to caller-side symbolic expressions
@@ -589,13 +638,21 @@ class MetricGenerator:
         return out
 
     # ------------------------------------------------------- parameter closure
-    def _resolve_parameters(self, models: dict[str, FunctionModel]) -> None:
+    def _resolve_parameters(self, models: dict[str, FunctionModel],
+                            fresh: set | None = None) -> None:
         """Compute each model's parameter list, including parameters that
-        bubble up from callees through unresolved call-site bindings."""
+        bubble up from callees through unresolved call-site bindings.
+
+        ``fresh`` (incremental runs) names the models generated this run;
+        restored models already carry their final parameter lists, which
+        are read as-is so bubbling through them stays exact."""
         order = self._topo_order(models)
         needed: dict[str, list[str]] = {}
         for qname in order:
             m = models[qname]
+            if fresh is not None and qname not in fresh:
+                needed[qname] = m.params
+                continue
             params = set(m.own_free_params())
             for c in m.calls:
                 callee_params = needed.get(c.callee, [])
@@ -614,7 +671,8 @@ class MetricGenerator:
             m.params = src_params + extra
             needed[qname] = m.params
 
-    def _close_assumptions(self, models: dict[str, FunctionModel]) -> None:
+    def _close_assumptions(self, models: dict[str, FunctionModel],
+                           fresh: set | None = None) -> None:
         """Propagate validity-domain assumptions through the call graph.
 
         A callee's assumptions are rewritten with the caller's argument
@@ -628,6 +686,8 @@ class MetricGenerator:
         """
         for qname in self._topo_order(models):
             m = models[qname]
+            if fresh is not None and qname not in fresh:
+                continue  # restored model: assumptions already closed
             for c in m.calls:
                 callee = models.get(c.callee)
                 if callee is None or not callee.assumptions:

@@ -37,7 +37,8 @@ from .metric_generator import MetricGenerator
 from .result import AnalysisResult
 
 __all__ = ["Pipeline", "PipelineState", "StageEvent", "STAGES",
-           "STAGE_RUN_COUNTS", "reset_stage_counters"]
+           "STAGE_RUN_COUNTS", "FUNC_STAGE_RUN_COUNTS",
+           "reset_stage_counters", "inject_symbolic_params"]
 
 #: Stage names, in execution order.
 STAGES = ("parse", "compile", "disassemble", "bridge", "model")
@@ -47,20 +48,62 @@ STAGES = ("parse", "compile", "disassemble", "bridge", "model")
 #: the "compile" stage at most once per workload.
 STAGE_RUN_COUNTS: Counter = Counter()
 
+#: Process-wide per-function stage executions, keyed ``"stage:qname"`` —
+#: the incremental engine's observability hook: tests assert that editing
+#: one function re-runs compile/model for exactly that function and its
+#: transitive callers.  Only function-granular stages count here (parse is
+#: file-granular).
+FUNC_STAGE_RUN_COUNTS: Counter = Counter()
+
 
 def reset_stage_counters() -> None:
     """Zero the process-wide stage counters (test/benchmark hygiene)."""
     STAGE_RUN_COUNTS.clear()
+    FUNC_STAGE_RUN_COUNTS.clear()
+
+
+def inject_symbolic_params(tu, names) -> None:
+    """Declare each ``config.symbolic_params`` name as a global int.
+
+    This is the late-binding half of the sweep engine: a size macro
+    predefined to *itself* survives preprocessing as a plain identifier
+    (see the preprocessor's blue-paint rule), and this synthetic global
+    gives the compiler a symbol to load, so the polyhedral layer sees a
+    free model parameter instead of a baked-in constant.  Only existing
+    *global* declarations and function names suppress the injection; a
+    same-named function parameter or local (e.g. dgemm's ``n``) simply
+    shadows the synthetic global, which then sits unused.  Module-level so
+    the incremental analyzer parses identically to the Pipeline.
+    """
+    declared = {d.name for g in tu.globals for d in g.decls}
+    declared |= {f.name for f in tu.all_functions()}
+    for name in names or ():
+        if name in declared:
+            continue
+        tu.globals.append(A.DeclStmt(
+            [A.VarDecl(name, Type("int"), [], None)]))
+
+
+def count_function_stage(stage: str, qnames) -> None:
+    """Record that ``stage`` executed for each function in ``qnames``."""
+    for q in qnames:
+        FUNC_STAGE_RUN_COUNTS[f"{stage}:{q}"] += 1
 
 
 @dataclass(frozen=True)
 class StageEvent:
-    """One observer notification: a stage is starting or has finished."""
+    """One observer notification: a stage is starting or has finished.
+
+    ``phase`` is ``"start"``/``"end"`` for executed stages; warm cache
+    restores emit synthetic ``"cache-hit"`` events (with ``function`` set
+    on per-function hits) so timing consumers see the restore instead of
+    misreading a hit as a zero-cost run."""
 
     stage: str
-    phase: str            # "start" | "end"
+    phase: str            # "start" | "end" | "cache-hit"
     index: int            # position of the stage in STAGES
-    elapsed: float = 0.0  # wall seconds (end events only)
+    elapsed: float = 0.0  # wall seconds (end / cache-hit events)
+    function: str | None = None   # per-function events (incremental engine)
 
 
 @dataclass
@@ -172,44 +215,32 @@ class Pipeline:
     def _stage_parse(self, state: PipelineState) -> None:
         state.tu = parse_source(state.source, filename=state.filename,
                                 predefined=state.predefined)
-        if self.config.symbolic_params:
-            self._inject_symbolic_params(state.tu)
+        inject_symbolic_params(state.tu, self.config.symbolic_params)
 
-    def _inject_symbolic_params(self, tu) -> None:
-        """Declare each ``config.symbolic_params`` name as a global int.
-
-        This is the late-binding half of the sweep engine: a size macro
-        predefined to *itself* survives preprocessing as a plain identifier
-        (see the preprocessor's blue-paint rule), and this synthetic global
-        gives the compiler a symbol to load, so the polyhedral layer sees a
-        free model parameter instead of a baked-in constant.  Only existing
-        *global* declarations and function names suppress the injection; a
-        same-named function parameter or local (e.g. dgemm's ``n``) simply
-        shadows the synthetic global, which then sits unused.
-        """
-        declared = {d.name for g in tu.globals for d in g.decls}
-        declared |= {f.name for f in tu.all_functions()}
-        for name in self.config.symbolic_params:
-            if name in declared:
-                continue
-            tu.globals.append(A.DeclStmt(
-                [A.VarDecl(name, Type("int"), [], None)]))
+    @staticmethod
+    def _function_names(state: PipelineState) -> list[str]:
+        return [f.qualified_name for f in state.tu.all_functions()
+                if not f.info.get("prototype_only")]
 
     def _stage_compile(self, state: PipelineState) -> None:
         state.obj = compile_tu(state.tu, opt_level=self.config.opt_level)
+        count_function_stage("compile", self._function_names(state))
 
     def _stage_disassemble(self, state: PipelineState) -> None:
         # Round-trip through bytes: the binary AST is built strictly from
         # the object file, as in the paper.
         state.program = disassemble(state.obj.to_bytes())
+        count_function_stage("disassemble", self._function_names(state))
 
     def _stage_bridge(self, state: PipelineState) -> None:
         state.bridges = build_bridge(state.program)
+        count_function_stage("bridge", self._function_names(state))
 
     def _stage_model(self, state: PipelineState) -> None:
         gen = MetricGenerator(state.tu, state.bridges, self.config.arch,
                               self.config.gen_options())
         state.models = gen.generate()
+        count_function_stage("model", self._function_names(state))
 
     # -- observers ---------------------------------------------------------------
     def _notify(self, event: StageEvent) -> None:

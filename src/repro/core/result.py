@@ -33,7 +33,8 @@ from .model_generator import (compile_model, evaluate_model,
                               generate_model_source)
 from .model_runtime import Metrics
 
-__all__ = ["AnalysisResult", "RESULT_SCHEMA_VERSION"]
+__all__ = ["AnalysisResult", "RESULT_SCHEMA_VERSION", "function_payload",
+           "restore_function_model", "assemble_result"]
 
 RESULT_SCHEMA_VERSION = 1
 
@@ -88,6 +89,50 @@ def _model_from_dict(qname: str, d: dict) -> FunctionModel:
                      for a in d.get("assumptions", [])])
 
 
+def function_payload(m: FunctionModel) -> dict:
+    """The JSON-able per-function cache entry (the incremental engine's
+    unit payload; see :mod:`repro.core.incremental`)."""
+    return {"schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "FunctionModel",
+            "qname": m.qualified_name,
+            "model": _model_to_dict(m)}
+
+
+def restore_function_model(qname: str, payload) -> FunctionModel | None:
+    """Rebuild one cached :class:`FunctionModel`, or None when the payload
+    is missing, stale, or does not name ``qname`` (treated as a miss)."""
+    if not isinstance(payload, dict) \
+            or payload.get("kind") != "FunctionModel" \
+            or payload.get("schema_version") != RESULT_SCHEMA_VERSION \
+            or payload.get("qname") != qname:
+        return None
+    try:
+        return _model_from_dict(qname, payload["model"])
+    except (KeyError, TypeError, ValueError, SymbolicError):
+        return None
+
+
+def assemble_result(models: dict, config, source: str, filename: str,
+                    predefined: dict | None, stage_timings: dict,
+                    processed: ProcessedInput | None = None,
+                    restored: tuple = ()) -> "AnalysisResult":
+    """An :class:`AnalysisResult` from a mix of cached and fresh models.
+
+    The wire-format fields (fingerprint, arch, opt level) are derived from
+    ``config`` exactly as :meth:`Pipeline.run_until` derives them, so a
+    mixed result serializes identically to a cold one."""
+    return AnalysisResult(
+        models=dict(models),
+        arch=config.arch,
+        processed=processed,
+        source_name=filename,
+        opt_level=config.opt_level,
+        fingerprint=config.fingerprint(source, filename=filename,
+                                       predefined=predefined),
+        stage_timings=dict(stage_timings),
+        restored_functions=tuple(restored))
+
+
 @dataclass
 class AnalysisResult:
     """Parametric models for every function, plus run metadata."""
@@ -99,6 +144,9 @@ class AnalysisResult:
     opt_level: int = 2
     fingerprint: str = ""
     stage_timings: dict = field(default_factory=dict)  # stage -> seconds
+    #: Functions restored from the per-function cache by an incremental run
+    #: (run metadata, like stage_timings: not part of the wire format).
+    restored_functions: tuple = ()
     _source_cache: str | None = None
     _compiled_cache: dict | None = None                # engine -> compiled
     _compiled_artifacts: dict | None = None            # engine -> artifact
@@ -323,3 +371,20 @@ class AnalysisResult:
 
     def function_models(self) -> dict[str, FunctionModel]:
         return dict(self.models)
+
+    def fresh_functions(self) -> list[str]:
+        """Functions actually (re-)analyzed by the run that produced this
+        result (everything not served from the per-function cache)."""
+        return sorted(set(self.models) - set(self.restored_functions))
+
+    # -- diffing ------------------------------------------------------------------
+    def diff(self, other: "AnalysisResult"):
+        """Symbolic model diff against another result.
+
+        Per-function deltas (added/removed/changed) with per-category
+        symbolic before→after expressions and a polynomial-degree /
+        leading-coefficient classification; returns a
+        :class:`repro.symbolic.diff.ResultDiff`."""
+        from ..symbolic.diff import diff_results
+
+        return diff_results(self, other)

@@ -1,0 +1,103 @@
+"""Function units: the incremental engine's unit of work and identity.
+
+The file-granular pipeline re-analyzes everything on any edit.  This module
+splits a parsed translation unit into per-function **units**, each carrying
+a content-addressed fingerprint that folds together everything the
+post-parse stages can observe about that function:
+
+* the function's source slice (:mod:`repro.frontend.slicing`): unparsed
+  body + absolute coordinates + annotations — macro expansion has already
+  happened, so reachable ``#define``s are baked in,
+* the TU context slice (classes, globals, prototype set),
+* the *fingerprints* of every direct callee — so a callee edit transitively
+  changes every caller's fingerprint (the invalidation frontier falls out
+  of content addressing; no dirty-bit bookkeeping),
+* :meth:`AnalysisConfig.identity_fingerprint` (arch, opt level, branch
+  ratio, predefines, symbolic params, ``PIPELINE_VERSION``).
+
+Filenames are deliberately **not** folded in: the same function text in
+``A.c`` and ``B.c`` shares cache entries, which is what makes
+``mira diff A.c B.c`` warm-start its second analysis from the first.
+
+Units are returned callees-first, so a topological walk over them can fold
+callee fingerprints bottom-up.  Recursive call graphs raise
+:class:`~repro.errors.ModelError` — the model stage cannot handle them
+either, and the incremental analyzer falls back to the cold pipeline for
+the identical error surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..frontend import ast_nodes as A
+from ..frontend.slicing import (function_slice, slice_fingerprint,
+                                tu_context_slice)
+from .config import AnalysisConfig
+from .metric_generator import direct_callees
+
+__all__ = ["FunctionUnit", "build_units"]
+
+
+@dataclass(frozen=True)
+class FunctionUnit:
+    """One function's identity within an incremental analysis."""
+
+    qname: str
+    fn: A.FunctionDef
+    fingerprint: str          # content-addressed cache key
+    slice_hash: str           # hash of the function slice alone
+    callees: tuple            # direct callee qnames, first-call order
+
+
+def build_units(tu: A.TranslationUnit, config: AnalysisConfig,
+                predefined: dict | None = None) -> dict[str, FunctionUnit]:
+    """Per-function units for a parsed TU, callees before callers.
+
+    Raises :class:`ModelError` on recursive call graphs (fingerprints of a
+    cycle are not well-founded; neither is the model)."""
+    config_id = config.identity_fingerprint(predefined)
+    context_hash = slice_fingerprint(tu_context_slice(tu))
+    fns = {f.qualified_name: f for f in tu.all_functions()
+           if not f.info.get("prototype_only")}
+    callees = {q: tuple(c for c in direct_callees(tu, f) if c in fns)
+               for q, f in fns.items()}
+
+    order: list[str] = []
+    state: dict[str, int] = {}
+
+    def visit(q: str) -> None:
+        st = state.get(q, 0)
+        if st == 1:
+            raise ModelError(f"recursive call cycle involving {q!r} "
+                             "(not supported by static modeling)")
+        if st == 2:
+            return
+        state[q] = 1
+        for c in callees[q]:
+            visit(c)
+        state[q] = 2
+        order.append(q)
+
+    for q in fns:
+        visit(q)
+
+    units: dict[str, FunctionUnit] = {}
+    for q in order:
+        slice_hash = slice_fingerprint(function_slice(fns[q]))
+        material = "\n".join([
+            "mira-function-unit",
+            config_id,
+            context_hash,
+            slice_hash,
+            *sorted(units[c].fingerprint for c in callees[q]),
+        ])
+        units[q] = FunctionUnit(
+            qname=q, fn=fns[q],
+            fingerprint=hashlib.sha256(
+                material.encode("utf-8")).hexdigest(),
+            slice_hash=slice_hash,
+            callees=callees[q])
+    return units

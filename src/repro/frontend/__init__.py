@@ -10,13 +10,15 @@ from .parser import Parser, parse_file, parse_source
 from .pragma import Annotation, parse_annotation
 from .preprocessor import preprocess
 from .printer import dump_tree, unparse
+from .slicing import function_slice, slice_fingerprint, tu_context_slice
 from .traversal import BottomUpPass, TopDownPass, Visitor, postorder, preorder
 from .types import Type, BUILTIN_FUNCTIONS
 
 __all__ = [
     "Annotation", "BUILTIN_FUNCTIONS", "BottomUpPass", "ClassDef",
     "FunctionDef", "Parser", "TopDownPass", "TranslationUnit", "Type",
-    "Visitor", "ast_nodes", "dump_tree", "parse_annotation", "parse_file",
-    "parse_source", "postorder", "preorder", "preprocess", "tokenize",
-    "unparse", "walk",
+    "Visitor", "ast_nodes", "dump_tree", "function_slice",
+    "parse_annotation", "parse_file", "parse_source", "postorder",
+    "preorder", "preprocess", "slice_fingerprint", "tokenize",
+    "tu_context_slice", "unparse", "walk",
 ]

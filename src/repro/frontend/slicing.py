@@ -1,0 +1,75 @@
+"""Stable per-function source slices (the incremental engine's identity).
+
+A *slice* is a canonical text rendering of everything about one function
+that the post-parse stages can observe:
+
+* the unparsed body (:func:`repro.frontend.printer.unparse` — already
+  macro-expanded, so reachable ``#define``s are folded in),
+* the absolute ``(line, col, node-type)`` coordinate stream — models embed
+  source coordinates everywhere (``MetricTerm.line``, warning texts,
+  line-suffixed parameters like ``iters_17``), so any line shift must
+  change the fingerprint for cached models to stay bit-identical,
+* every annotation payload (``// @mira`` pragmas steer modeling but are
+  invisible to ``unparse``).
+
+:func:`tu_context_slice` captures the per-TU surroundings a function's
+compilation reads: class layouts, global declarations, and which functions
+are prototype-only (prototype-only callees are invisible to call
+resolution).  Fingerprints are plain SHA-256 of the slices; the
+config/callee folding happens in :mod:`repro.core.units`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from . import ast_nodes as A
+from .printer import unparse
+
+__all__ = ["function_slice", "tu_context_slice", "slice_fingerprint"]
+
+
+def _annotation_items(node: A.Node) -> list[str]:
+    out = []
+    for ann in getattr(node, "annotations", None) or ():
+        items = ",".join(f"{k}={v!r}"
+                         for k, v in sorted(ann.items.items(), key=str))
+        out.append(f"@{ann.line}:{items}")
+    return out
+
+
+def function_slice(fn: A.FunctionDef) -> str:
+    """Canonical text of one function: unparse + coordinates + annotations.
+
+    Two parses produce the same slice iff the function is guaranteed to
+    compile and model identically (given identical TU context, callees,
+    and config)."""
+    parts = [unparse(fn)]
+    coords = []
+    for node in A.walk(fn):
+        coords.append(f"{type(node).__name__}@{node.line}.{node.col}")
+        coords.extend(_annotation_items(node))
+    parts.append(";".join(coords))
+    return "\n\x00\n".join(parts)
+
+
+def tu_context_slice(tu: A.TranslationUnit) -> str:
+    """Canonical text of the function-independent TU context.
+
+    Everything outside function bodies that lowering or call resolution
+    reads: class definitions (layouts), globals (symbol table, types,
+    array dims), and the prototype-only function set."""
+    parts = []
+    for c in tu.classes:
+        parts.append(unparse(c))
+    for g in tu.globals:
+        parts.append(unparse(g))
+    protos = sorted(
+        f"{f.qualified_name}/{len(f.params)}" for f in tu.all_functions()
+        if f.info.get("prototype_only"))
+    parts.append(";".join(protos))
+    return "\n\x00\n".join(parts)
+
+
+def slice_fingerprint(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

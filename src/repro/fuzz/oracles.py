@@ -21,7 +21,7 @@ analyses per program, not per oracle.
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.batch import ModelCache, payload_from_result
 from ..core.config import AnalysisConfig
@@ -30,7 +30,7 @@ from ..core.result import AnalysisResult
 from ..core.sweep import _restore_cached
 from ..dynamic import TauProfiler
 from ..errors import MiraError, VectorizeError
-from .generator import GeneratedProgram
+from .generator import GeneratedProgram, StmtSpec
 
 __all__ = ["ORACLE_NAMES", "CaseReport", "FuzzCase", "OracleVerdict",
            "run_oracles"]
@@ -282,12 +282,74 @@ def oracle_cache(case: FuzzCase) -> OracleVerdict:
     return OracleVerdict("cache", True)
 
 
+def _mutate_spec(spec):
+    """Deterministically perturb the first (deepest-callee) function's
+    body: bump the coefficient of its first int statement, else flip the
+    op of its first fp statement, else append an int accumulation.  The
+    mutation always changes the rendered source of exactly one function."""
+    fn = spec.functions[0]
+    body = list(fn.body)
+    for i, st in enumerate(body):
+        if st.kind in ("int_acc", "int_arr"):
+            body[i] = replace(st, coef=st.coef + 1)
+            break
+        if st.kind in ("fp_scalar", "fp_arr"):
+            body[i] = replace(st, op="-" if st.op == "+" else "+")
+            break
+    else:
+        body.append(StmtSpec(kind="int_acc", coef=2))
+    return replace(spec, functions=(replace(fn, body=tuple(body)),)
+                   + spec.functions[1:])
+
+
+def oracle_incremental(case: FuzzCase) -> OracleVerdict:
+    """Per-function incremental re-analysis == cold full analysis, bit for
+    bit.  Analyze the program into a fresh per-function cache, mutate one
+    function of the spec, re-analyze incrementally (warm-starting from the
+    unmutated functions' cache entries), and demand the result equals a
+    cold ``Pipeline`` run of the mutated source on everything but
+    ``stage_timings``."""
+    from ..core.incremental import IncrementalAnalyzer
+    from .generator import render_program
+
+    spec = case.program.spec
+    if len(spec.functions) < 2:
+        return OracleVerdict("incremental", True, skipped=True,
+                             detail="needs a multi-function program")
+    mutated = _mutate_spec(spec)
+    src_a = render_program(spec, "concrete")
+    src_b = render_program(mutated, "concrete")
+    cfg = case.program.config("concrete", case.base_config)
+    with tempfile.TemporaryDirectory(prefix="mira-fuzz-incr-") as tmp:
+        inc = IncrementalAnalyzer(cfg.with_changes(cache_dir=tmp,
+                                                   use_cache=True))
+        inc.analyze(src_a, filename="<fuzz-concrete>")
+        warm = inc.analyze(src_b, filename="<fuzz-concrete>")
+    cold = Pipeline(cfg).run(src_b, filename="<fuzz-concrete>")
+    details = []
+    target = spec.functions[0].name
+    if target not in warm.fresh_functions():
+        details.append(f"mutated function {target!r} was not re-analyzed "
+                       f"(fresh: {warm.fresh_functions()})")
+    dw, dc = warm.to_dict(), cold.to_dict()
+    dw.pop("stage_timings", None)
+    dc.pop("stage_timings", None)
+    if dw != dc:
+        keys = [k for k in dc if dw.get(k) != dc.get(k)]
+        details.append(f"incremental result differs from cold in: {keys}")
+    if details:
+        return OracleVerdict("incremental", False,
+                             detail=" | ".join(details))
+    return OracleVerdict("incremental", True)
+
+
 #: Registry, in execution order.
 ORACLES = {
     "static_dynamic": oracle_static_dynamic,
     "engines": oracle_engines,
     "serialize": oracle_serialize,
     "cache": oracle_cache,
+    "incremental": oracle_incremental,
 }
 
 ORACLE_NAMES = tuple(ORACLES)

@@ -42,6 +42,14 @@ from .expr import (
     ZERO,
     as_expr,
 )
+from .diff import (
+    CategoryDelta,
+    FunctionDelta,
+    ResultDiff,
+    category_exprs,
+    classify_change,
+    diff_results,
+)
 from .poly import Polynomial, expr_to_poly, power_sum_poly
 from .pycodegen import expr_to_numpy, expr_to_python
 from .serialize import expr_from_json, expr_to_json
@@ -57,10 +65,16 @@ __all__ = [
     "VecCompiledExpr",
     "VecCompiledResult",
     "compile_expr",
+    "CategoryDelta",
+    "FunctionDelta",
+    "ResultDiff",
+    "category_exprs",
+    "classify_change",
     "compile_expr_vector",
     "compile_function_model",
     "compile_result",
     "compile_result_vector",
+    "diff_results",
     "reset_codegen_counters",
     "FloorDiv",
     "Int",

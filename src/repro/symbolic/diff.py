@@ -1,0 +1,314 @@
+"""Symbolic model diffing: per-function deltas between two analyses.
+
+``AnalysisResult.diff(other)`` (and ``mira diff``) answers the CI-bot
+question "did this commit change the performance model?" symbolically:
+each function's per-category instruction count is folded into one
+inclusive :class:`~repro.symbolic.expr.Expr` (own terms plus callee
+contributions, substituted through call-site argument bindings exactly
+like the assumption-closure pass), and before/after expressions are
+classified through the polynomial layer:
+
+* equal canonical expressions → no delta,
+* polynomial-equal after normalization → reported but flagged cosmetic,
+* same degree, proportional leading terms → "degree unchanged, leading
+  coeff ×r" (e.g. ``2n^3 + n^2 → 4n^3``),
+* different total degree → "degree a → b" (the delta a perf bot should
+  block on),
+* anything non-polynomial → a generic symbolic change.
+
+This module deliberately imports nothing from :mod:`repro.core` — it
+operates on the duck-typed ``AnalysisResult`` surface (``models``,
+``arch``, ``source_name``, ``to_dict``), which keeps the symbolic layer
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from .expr import Expr, Int, Sym
+from .poly import expr_to_poly
+
+__all__ = ["CategoryDelta", "FunctionDelta", "ResultDiff",
+           "category_exprs", "classify_change", "diff_results"]
+
+#: Synthetic categories reported alongside the arch's own.
+TOTAL = "TOTAL"
+FP = "FP_INS"
+
+
+# ---------------------------------------------------------------------------
+# inclusive per-category symbolic counts
+# ---------------------------------------------------------------------------
+
+def category_exprs(models: dict, qname: str,
+                   _memo: dict | None = None) -> dict[str, Expr]:
+    """Inclusive symbolic instruction count per category for ``qname``.
+
+    Own metric terms contribute ``vector[cat] × count``; each call site
+    contributes ``count × callee_expr`` with the callee's free symbols
+    rewritten through the call's argument bindings (unbound parameters get
+    the call-site line suffix, the same ``y_16`` rule the parameter and
+    assumption closures use).  Memoized per result; recursion-safe (a
+    cycle contributes nothing, matching the model layer's refusal to
+    model it)."""
+    if _memo is None:
+        _memo = {}
+    if qname in _memo:
+        return _memo[qname]
+    _memo[qname] = {}          # cycle guard: in-progress reads as empty
+    model = models.get(qname)
+    if model is None:
+        return _memo[qname]
+    out: dict[str, Expr] = {}
+
+    def add(cat: str, e: Expr) -> None:
+        out[cat] = out.get(cat, Int(0)) + e
+
+    for t in model.terms:
+        for cat, n in t.vector.as_dict().items():
+            if n:
+                add(cat, Int(n) * t.count)
+    for c in model.calls:
+        callee = category_exprs(models, c.callee, _memo)
+        if not callee:
+            continue
+        sub: dict[str, Expr] = {}
+        for cat, e in callee.items():
+            for name in e.free_symbols():
+                if name not in sub:
+                    bound = c.arg_exprs.get(name)
+                    sub[name] = bound if bound is not None \
+                        else Sym(f"{name}_{c.line}")
+            add(cat, c.count * e.subs(sub))
+    _memo[qname] = out
+    return out
+
+
+# ---------------------------------------------------------------------------
+# polynomial classification
+# ---------------------------------------------------------------------------
+
+def _poly_profile(e: Expr):
+    """(total degree, leading terms {monomial: coeff}) of a polynomial
+    expression, or None when it has no polynomial form."""
+    p = expr_to_poly(e)
+    if p is None:
+        return None
+    terms = {m: c for m, c in p.terms.items() if c != 0}
+    if not terms:
+        return 0, {(): Fraction(0)}
+    deg = max(sum(exp for _v, exp in mono) for mono in terms)
+    leading = {m: c for m, c in terms.items()
+               if sum(exp for _v, exp in m) == deg}
+    return deg, leading
+
+
+def _fmt_ratio(r: Fraction) -> str:
+    return str(r.numerator) if r.denominator == 1 else \
+        f"{r.numerator}/{r.denominator}"
+
+
+def classify_change(before: Expr, after: Expr) -> str:
+    """One-line classification of a symbolic count change."""
+    if before == after:
+        return "unchanged"
+    pa, pb = _poly_profile(before), _poly_profile(after)
+    if pa is None or pb is None:
+        return "non-polynomial change"
+    (da, la), (db, lb) = pa, pb
+    if expr_to_poly(before) == expr_to_poly(after):
+        return "equal after normalization"
+    if da != db:
+        return f"degree {da} → {db}"
+    if da == 0:
+        return "constant change"
+    if la == lb:
+        return (f"degree {da} and leading terms unchanged; "
+                f"lower-order terms changed")
+    if set(la) == set(lb):
+        ratios = {lb[m] / la[m] for m in la if la[m] != 0}
+        if len(ratios) == 1 and all(la[m] != 0 for m in la):
+            return (f"degree unchanged, leading coeff "
+                    f"×{_fmt_ratio(ratios.pop())}")
+    return f"degree {da} unchanged, leading terms changed"
+
+
+# ---------------------------------------------------------------------------
+# the diff product
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CategoryDelta:
+    """One category's before→after symbolic counts for one function."""
+
+    category: str
+    before: Expr | None
+    after: Expr | None
+    change: str
+
+    def to_dict(self) -> dict:
+        return {"category": self.category,
+                "before": str(self.before) if self.before is not None
+                else None,
+                "after": str(self.after) if self.after is not None
+                else None,
+                "change": self.change}
+
+
+@dataclass
+class FunctionDelta:
+    """One function's delta: status plus per-category symbolic changes."""
+
+    qname: str
+    status: str                # "added" | "removed" | "changed"
+    categories: list = field(default_factory=list)   # CategoryDelta
+    params_before: list = field(default_factory=list)
+    params_after: list = field(default_factory=list)
+    detail: str = ""           # e.g. "metadata-only change (warnings)"
+
+    def to_dict(self) -> dict:
+        out = {"function": self.qname, "status": self.status,
+               "categories": [c.to_dict() for c in self.categories],
+               "params_before": list(self.params_before),
+               "params_after": list(self.params_after)}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
+class ResultDiff:
+    """The symbolic diff between two analyses."""
+
+    a_name: str
+    b_name: str
+    added: list = field(default_factory=list)      # FunctionDelta
+    removed: list = field(default_factory=list)
+    changed: list = field(default_factory=list)
+    unchanged: list = field(default_factory=list)  # qnames
+    arch_changed: bool = False
+
+    @property
+    def identical(self) -> bool:
+        return not (self.added or self.removed or self.changed
+                    or self.arch_changed)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "ModelDiff",
+            "a": self.a_name,
+            "b": self.b_name,
+            "identical": self.identical,
+            "arch_changed": self.arch_changed,
+            "added": [d.to_dict() for d in self.added],
+            "removed": [d.to_dict() for d in self.removed],
+            "changed": [d.to_dict() for d in self.changed],
+            "unchanged": list(self.unchanged),
+        }
+
+    def format(self) -> str:
+        lines = [f"# model diff: {self.a_name} → {self.b_name}"]
+        if self.identical:
+            lines.append("models are identical")
+            return "\n".join(lines)
+        if self.arch_changed:
+            lines.append("! architecture description changed")
+        for d in self.removed:
+            lines.append(f"- {d.qname}")
+        for d in self.added:
+            lines.append(f"+ {d.qname}")
+            for c in d.categories:
+                lines.append(f"    {c.category}: {c.after}")
+        for d in self.changed:
+            lines.append(f"~ {d.qname}")
+            if d.detail:
+                lines.append(f"    {d.detail}")
+            if d.params_before != d.params_after:
+                lines.append(f"    params: {d.params_before} → "
+                             f"{d.params_after}")
+            for c in d.categories:
+                lines.append(f"    {c.category}: {c.before} → {c.after}  "
+                             f"[{c.change}]")
+        lines.append(
+            f"{len(self.changed)} changed, {len(self.added)} added, "
+            f"{len(self.removed)} removed, "
+            f"{len(self.unchanged)} unchanged")
+        return "\n".join(lines)
+
+
+def _function_exprs(result, qname: str, memo: dict) -> dict[str, Expr]:
+    """Per-category inclusive counts plus the synthetic TOTAL and FP_INS
+    rows (FP per the result's own arch)."""
+    cats = dict(category_exprs(result.models, qname, memo))
+    total = Int(0)
+    fp = Int(0)
+    fp_cats = set(result.arch.fp_arith_categories)
+    for cat, e in cats.items():
+        total = total + e
+        if cat in fp_cats:
+            fp = fp + e
+    cats[TOTAL] = total
+    cats[FP] = fp
+    return cats
+
+
+def diff_results(a, b) -> ResultDiff:
+    """Diff two ``AnalysisResult``-shaped objects (added/removed/changed
+    functions; per-category symbolic before→after with classification)."""
+    diff = ResultDiff(a_name=a.source_name, b_name=b.source_name,
+                      arch_changed=(a.arch.fingerprint()
+                                    != b.arch.fingerprint()))
+    a_doc = {q: m for q, m in a.to_dict()["functions"].items()}
+    b_doc = {q: m for q, m in b.to_dict()["functions"].items()}
+    memo_a: dict = {}
+    memo_b: dict = {}
+
+    for q in a_doc:
+        if q not in b_doc:
+            cats = _function_exprs(a, q, memo_a)
+            diff.removed.append(FunctionDelta(
+                qname=q, status="removed",
+                params_before=list(a.models[q].params),
+                categories=[CategoryDelta(c, e, None, "removed")
+                            for c, e in sorted(cats.items())
+                            if e != Int(0)]))
+    for q in b_doc:
+        if q not in a_doc:
+            cats = _function_exprs(b, q, memo_b)
+            diff.added.append(FunctionDelta(
+                qname=q, status="added",
+                params_after=list(b.models[q].params),
+                categories=[CategoryDelta(c, None, e, "added")
+                            for c, e in sorted(cats.items())
+                            if e != Int(0)]))
+
+    for q in b_doc:
+        if q not in a_doc:
+            continue
+        if a_doc[q] == b_doc[q] and not diff.arch_changed:
+            diff.unchanged.append(q)
+            continue
+        ca = _function_exprs(a, q, memo_a)
+        cb = _function_exprs(b, q, memo_b)
+        deltas = []
+        for cat in sorted(set(ca) | set(cb)):
+            ea = ca.get(cat, Int(0))
+            eb = cb.get(cat, Int(0))
+            if ea == eb:
+                continue
+            deltas.append(CategoryDelta(cat, ea, eb,
+                                        classify_change(ea, eb)))
+        delta = FunctionDelta(
+            qname=q, status="changed", categories=deltas,
+            params_before=list(a.models[q].params),
+            params_after=list(b.models[q].params))
+        if not deltas and a_doc[q] == b_doc[q]:
+            # only the arch changed: this function's counts are identical
+            diff.unchanged.append(q)
+            continue
+        if not deltas:
+            delta.detail = "metadata-only change (warnings/terms layout)"
+        diff.changed.append(delta)
+    return diff

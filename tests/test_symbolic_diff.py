@@ -1,0 +1,164 @@
+"""Tests for symbolic model diffing (repro.symbolic.diff)."""
+
+import pytest
+
+from repro.core import AnalysisConfig, Pipeline
+from repro.symbolic import Int, Max, Sym, diff_results
+from repro.symbolic.diff import classify_change
+from repro.workloads import available, source_path
+
+N = Sym("n")
+
+
+class TestClassifyChange:
+    def test_unchanged(self):
+        assert classify_change(N ** 2, N ** 2) == "unchanged"
+
+    def test_leading_coeff_ratio(self):
+        # the headline case: 2n^3 + n^2 → 4n^3
+        before = Int(2) * N ** 3 + N ** 2
+        after = Int(4) * N ** 3
+        assert classify_change(before, after) == \
+            "degree unchanged, leading coeff ×2"
+
+    def test_fractional_ratio(self):
+        assert classify_change(Int(2) * N ** 2, Int(3) * N ** 2) == \
+            "degree unchanged, leading coeff ×3/2"
+
+    def test_degree_change(self):
+        assert classify_change(N ** 2, N ** 3) == "degree 2 → 3"
+        assert classify_change(Int(5) * N ** 3 + N, N) == "degree 3 → 1"
+
+    def test_constant_change(self):
+        assert classify_change(Int(5), Int(9)) == "constant change"
+
+    def test_lower_order_change(self):
+        before = Int(2) * N ** 3 + N
+        after = Int(2) * N ** 3 + Int(5) * N
+        assert classify_change(before, after) == \
+            "degree 3 and leading terms unchanged; lower-order terms changed"
+
+    def test_multivariate_leading_terms_changed(self):
+        m = Sym("m")
+        # degree 2 both, but the leading monomial set changes
+        assert "leading terms changed" in \
+            classify_change(N * m, N ** 2)
+
+    def test_non_polynomial(self):
+        assert classify_change(Max((N, Int(1))), N) == \
+            "non-polynomial change"
+
+
+def analyze(src: str, **cfg):
+    return Pipeline(AnalysisConfig(**cfg)).run(src, filename="t.c")
+
+
+SRC_A = """\
+int leaf(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+int mid(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      s += leaf(n);
+  return s;
+}
+int main() { return mid(50); }
+"""
+
+# mid gains a third loop level; gone is replaced by nothing; extra appears
+SRC_B = """\
+int leaf(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }
+int mid(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      for (int k = 0; k < n; k++)
+        s += leaf(n);
+  return s;
+}
+int extra(int n) { int s = 1; for (int i = 0; i < n; i++) s += 2; return s; }
+int main() { return mid(50) + extra(3); }
+"""
+
+
+class TestDiffResults:
+    def test_self_diff_is_identical(self):
+        res = analyze(SRC_A)
+        diff = res.diff(res)
+        assert diff.identical
+        assert diff.to_dict()["identical"]
+        assert not diff.changed and not diff.added and not diff.removed
+        assert set(diff.unchanged) == {"leaf", "mid", "main"}
+        assert "identical" in diff.format()
+
+    def test_added_and_changed_functions(self):
+        a, b = analyze(SRC_A), analyze(SRC_B)
+        diff = a.diff(b)
+        assert not diff.identical
+        assert [d.qname for d in diff.added] == ["extra"]
+        assert not diff.removed
+        changed = {d.qname: d for d in diff.changed}
+        assert "mid" in changed
+        assert "leaf" in diff.unchanged
+        # the new loop level raises mid's inclusive TOTAL degree
+        total = {c.category: c for c in changed["mid"].categories}["TOTAL"]
+        assert "degree" in total.change and "→" in total.change
+
+    def test_removed_is_symmetric_to_added(self):
+        a, b = analyze(SRC_A), analyze(SRC_B)
+        diff = b.diff(a)
+        assert [d.qname for d in diff.removed] == ["extra"]
+        assert not diff.added
+
+    def test_reported_expressions_are_inclusive(self):
+        a, b = analyze(SRC_A), analyze(SRC_B)
+        diff = a.diff(b)
+        mid = next(d for d in diff.changed if d.qname == "mid")
+        total = {c.category: c for c in mid.categories}["TOTAL"]
+        # mid's inclusive count folds leaf's body through the call site:
+        # degree 3 before (n^2 iterations × n-loop leaf), 4 after
+        assert "n**3" in str(total.before)
+        assert "n**4" in str(total.after)
+
+    def test_to_dict_shape(self):
+        a, b = analyze(SRC_A), analyze(SRC_B)
+        doc = a.diff(b).to_dict()
+        assert doc["kind"] == "ModelDiff"
+        assert {"a", "b", "identical", "arch_changed", "added", "removed",
+                "changed", "unchanged"} <= set(doc)
+        for d in doc["changed"]:
+            for c in d["categories"]:
+                assert {"category", "before", "after", "change"} == set(c)
+
+    def test_format_mentions_functions_and_classification(self):
+        a, b = analyze(SRC_A), analyze(SRC_B)
+        text = a.diff(b).format()
+        assert "+ extra" in text
+        assert "~ mid" in text
+        assert "degree" in text
+
+    def test_arch_change_flagged(self):
+        from repro.compiler.arch import default_arch
+
+        a = analyze(SRC_A)
+        b = analyze(SRC_A, arch=default_arch("frankenstein"))
+        diff = a.diff(b)
+        assert diff.arch_changed
+        assert not diff.identical
+        assert "architecture" in diff.format()
+
+    def test_opt_level_difference_shows_up(self):
+        a = analyze(SRC_A)
+        b = analyze(SRC_A, opt_level=0)
+        diff = a.diff(b)
+        assert not diff.identical
+        assert diff.changed
+
+
+class TestCorpusSelfDiff:
+    @pytest.mark.parametrize("name", available())
+    def test_self_diff_empty_for_corpus(self, name):
+        res = Pipeline(AnalysisConfig()).run_file(source_path(name))
+        diff = res.diff(res)
+        assert diff.identical, name
+        assert set(diff.unchanged) == set(res.models)
