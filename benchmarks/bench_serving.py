@@ -1,0 +1,146 @@
+"""Model-serving load benchmark: cold vs warm submissions, concurrency.
+
+The serving subsystem's pitch is the paper's economics over HTTP: the
+first submission of a source pays the full analysis pipeline, every
+repeat is a fingerprint lookup against the warm registry.  This bench
+boots an in-process :class:`MiraServer` on an ephemeral port, measures
+
+* **cold** throughput — distinct sources, each a full pipeline run,
+* **warm** throughput — repeat submissions of an already-registered
+  source (the registry hit path; zero compiler invocations), and
+* **concurrent** warm throughput — several keep-alive clients on
+  threads, exercising the threaded server + registry locking,
+
+and emits ``benchmarks/out/BENCH_serving.json``.  The acceptance floor:
+warm req/s must be at least 5x cold req/s (in practice it is orders of
+magnitude).
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from _common import OUT_DIR, rows_to_text, save_table
+
+from repro.core import AnalysisConfig
+from repro.core.pipeline import STAGE_RUN_COUNTS, reset_stage_counters
+from repro.serve import MiraClient, MiraServer
+
+SRC = """\
+double kernel(int n) {
+    double s = %d.0;
+    for (int i = 0; i < n; i++) s += i * %d.0;
+    return s;
+}
+"""
+
+N_COLD = 6          # distinct sources (each a full pipeline run)
+N_WARM = 200        # repeat submissions of one registered source
+N_THREADS = 4       # concurrent keep-alive clients
+N_PER_THREAD = 50
+
+
+def run_load():
+    out = {}
+    with tempfile.TemporaryDirectory() as cache_dir:
+        config = AnalysisConfig(cache_dir=cache_dir)
+        with MiraServer(port=0, config=config) as server:
+            client = MiraClient(server.url)
+
+            t0 = time.perf_counter()
+            handles = [client.submit(SRC % (i, i + 1),
+                                     filename=f"kernel{i}.c")
+                       for i in range(N_COLD)]
+            cold_s = time.perf_counter() - t0
+            assert all(h["origin"] == "cold" for h in handles)
+
+            reset_stage_counters()
+            t0 = time.perf_counter()
+            for _ in range(N_WARM):
+                h = client.submit(SRC % (0, 1), filename="kernel0.c")
+                assert h["origin"] == "registry"
+            warm_s = time.perf_counter() - t0
+            # Warm throughput must come from the registry, not re-analysis.
+            assert STAGE_RUN_COUNTS.get("compile", 0) == 0
+
+            def hammer(errors):
+                try:
+                    with MiraClient(server.url) as c:
+                        for _ in range(N_PER_THREAD):
+                            doc = c.submit(SRC % (0, 1),
+                                           filename="kernel0.c")
+                            assert doc["origin"] == "registry"
+                except Exception as exc:   # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            errors = []
+            threads = [threading.Thread(target=hammer, args=(errors,))
+                       for _ in range(N_THREADS)]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            conc_s = time.perf_counter() - t0
+            assert not errors, errors
+
+            health = client.health()
+            client.close()
+
+    out["cold_rps"] = N_COLD / cold_s
+    out["warm_rps"] = N_WARM / warm_s
+    out["concurrent_rps"] = (N_THREADS * N_PER_THREAD) / conc_s
+    out["warm_vs_cold"] = out["warm_rps"] / out["cold_rps"]
+    out["registry_hits"] = health["registry"]["registry_hits"]
+    out["analyses"] = health["registry"]["analyses"]
+    return out
+
+
+def test_serving_load(benchmark):
+    s = benchmark.pedantic(run_load, iterations=1, rounds=1)
+
+    rows = [["cold submissions", N_COLD],
+            ["warm submissions", N_WARM],
+            ["concurrent clients", f"{N_THREADS} x {N_PER_THREAD}"],
+            ["cold req/s", f"{s['cold_rps']:.1f}"],
+            ["warm req/s", f"{s['warm_rps']:.1f}"],
+            ["concurrent warm req/s", f"{s['concurrent_rps']:.1f}"],
+            ["warm / cold", f"{s['warm_vs_cold']:.1f}x"]]
+    save_table("serving", rows_to_text(
+        "Model serving — cold vs warm submission throughput",
+        ["metric", "value"], rows,
+        note="Cold = full pipeline per request; warm = registry hit "
+             "(fingerprint lookup, zero compiles, counter-asserted). "
+             "Concurrent = keep-alive clients on threads against the "
+             "threaded server."))
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_serving.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump({"kind": "ServingBench",
+                   "cold_requests": N_COLD,
+                   "warm_requests": N_WARM,
+                   "concurrent_clients": N_THREADS,
+                   "requests_per_client": N_PER_THREAD,
+                   "cold_rps": round(s["cold_rps"], 2),
+                   "warm_rps": round(s["warm_rps"], 2),
+                   "concurrent_rps": round(s["concurrent_rps"], 2),
+                   "warm_vs_cold": round(s["warm_vs_cold"], 2),
+                   "registry_hits": s["registry_hits"],
+                   "analyses": s["analyses"]}, fh, indent=2)
+        fh.write("\n")
+
+    # The acceptance floor; real ratios are in the hundreds.
+    assert s["warm_vs_cold"] >= 5.0, (
+        f"warm throughput only {s['warm_vs_cold']:.1f}x cold")
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "--benchmark-disable"]
+                                 + sys.argv[1:]))

@@ -30,16 +30,16 @@ from .core import (
     roofline_estimate,
 )
 from .dynamic import TauProfiler, TauReport
-from .errors import BatchError, MiraError, PipelineError, SchemaError
-
-__version__ = "1.1.0"
+from .errors import (BatchError, MiraError, PipelineError, SchemaError,
+                     ServeError)
+from ._version import __version__
 
 __all__ = [
     "AnalysisConfig", "AnalysisResult", "ArchDescription", "BatchAnalyzer",
     "BatchError", "BatchReport", "Metrics", "Mira", "MiraError", "MiraModel",
     "ModelCache", "PBoundAnalyzer", "PBoundCounts", "Pipeline",
-    "PipelineError", "PipelineState", "SchemaError", "StageEvent",
-    "TauProfiler", "TauReport", "__version__", "arithmetic_intensity",
-    "default_arch", "instruction_distribution", "load_arch",
-    "loop_coverage_source", "roofline_estimate",
+    "PipelineError", "PipelineState", "SchemaError", "ServeError",
+    "StageEvent", "TauProfiler", "TauReport", "__version__",
+    "arithmetic_intensity", "default_arch", "instruction_distribution",
+    "load_arch", "loop_coverage_source", "roofline_estimate",
 ]

@@ -1,0 +1,9 @@
+"""The single source of truth for the package version.
+
+``pyproject.toml`` reads this attribute at build time (``[tool.setuptools.
+dynamic]``), ``repro.__version__`` re-exports it, ``mira --version`` prints
+it, and every schema envelope the CLI/server emits carries it — one string,
+declared once.
+"""
+
+__version__ = "1.2.0"

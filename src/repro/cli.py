@@ -45,8 +45,23 @@ Subcommands::
         interpreter, tree-walk vs compiled vs vectorized, JSON round-trip,
         cold vs warm cache, incremental vs cold); shrink and optionally
         persist any divergence
+    mira serve [--host H] [--port P] [--registry-size N] [--cache-dir D]
+        run the long-running model-serving HTTP API (REST CRUD over
+        analyses and corpora, warm LRU model registry over the disk cache,
+        fingerprint ETags); Ctrl-C stops it
+    mira client ACTION ... [--url U]
+        drive a running server: health | submit FILE | get ID | list |
+        evaluate ID FUNCTION [k=v ...] | sweep ID -p N=1e4..1e8 |
+        diff ID_A ID_B | corpus [NAME ...] | delete ID — prints the
+        server's JSON documents
     mira arch-template
         print a JSON architecture description template to customize
+
+``mira --version`` prints the package version; the same string is stamped
+as ``"version"`` on every ``--json`` document and server response.  With
+``--json``, failures are machine-readable too: a
+``{"error": {"type", "message"}}`` payload (shared with the HTTP API's
+4xx/5xx bodies) on stdout and a nonzero exit.
 
 ``--arch`` accepts the presets ``arya`` (Haswell-like), ``frankenstein``
 (Nehalem-like), and ``generic`` (single-socket default), or a path to a
@@ -61,6 +76,7 @@ import os
 import sys
 import time
 
+from ._version import __version__
 from .binary import disassemble, format_listing
 from .compiler.arch import default_arch, load_arch
 from .core import (AnalysisConfig, Pipeline, loop_coverage,
@@ -68,6 +84,7 @@ from .core import (AnalysisConfig, Pipeline, loop_coverage,
 from .core.pipeline import STAGES
 from .core.result import RESULT_SCHEMA_VERSION
 from .dynamic import TauProfiler
+from .errors import MiraError, error_payload
 
 __all__ = ["main"]
 
@@ -112,22 +129,29 @@ def _config_from_args(args) -> AnalysisConfig:
                           predefined=_parse_defines(args.define))
 
 
-def _emit_json(doc: dict) -> int:
+def _envelope(doc: dict) -> dict:
+    """Stamp the shared envelope fields every ``--json`` document carries:
+    the schema version and the package version that produced it."""
     doc.setdefault("schema_version", JSON_SCHEMA_VERSION)
-    print(json.dumps(doc, indent=2))
+    doc.setdefault("version", __version__)
+    return doc
+
+
+def _emit_json(doc: dict) -> int:
+    print(json.dumps(_envelope(doc), indent=2))
     return 0
 
 
 def cmd_analyze(args) -> int:
     result = Pipeline(_config_from_args(args)).run_file(args.file)
     if args.json:
+        doc = _envelope(result.to_dict())
         if args.output:
             with open(args.output, "w", encoding="utf-8") as fh:
-                fh.write(result.to_json())
+                fh.write(json.dumps(doc, indent=2))
             print(f"result written to {args.output}")
-        else:
-            print(result.to_json())
-        return 0
+            return 0
+        return _emit_json(doc)
     text = result.python_source()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
@@ -323,7 +347,7 @@ def cmd_batch(args) -> int:
         paths.extend(source_path(n) for n in available())
     report = analyzer.analyze_paths(paths)
     if args.json:
-        print(report.to_json())
+        _emit_json(json.loads(report.to_json()))
     else:
         print(report.format_table())
     for r in report.failed():
@@ -426,7 +450,7 @@ def cmd_fuzz(args) -> int:
         doc = report.to_dict()
         if saved:
             doc["reproducers"] = saved
-        print(json.dumps(doc, indent=2))
+        print(json.dumps(_envelope(doc), indent=2))
         return 0 if report.ok else 1
     print(f"# fuzz campaign: seed {report.seed}, "
           f"{report.executed}/{report.requested} program(s), "
@@ -523,8 +547,7 @@ def _watch_diff(analyzer, args) -> int:
             if args.json:
                 doc = diff.to_dict()
                 doc["incremental"] = st
-                doc.setdefault("schema_version", JSON_SCHEMA_VERSION)
-                print(json.dumps(doc), flush=True)
+                print(json.dumps(_envelope(doc)), flush=True)
             else:
                 print(diff.format())
                 print(f"# incremental: {len(st['restored'])} restored, "
@@ -567,6 +590,78 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve.app import MiraServer
+
+    config = _config_from_args(args).with_changes(
+        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    server = MiraServer(host=args.host, port=args.port, config=config,
+                        capacity=args.registry_size, quiet=not args.verbose)
+    cache = server.registry.cache
+    print(f"mira serve: listening on {server.url} "
+          f"(registry capacity {args.registry_size}, cache "
+          f"{cache.cache_dir if cache is not None else 'off'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .serve.client import MiraClient
+
+    client = MiraClient(args.url)
+    action = args.action
+    if action == "health":
+        doc = client.health()
+    elif action == "submit":
+        doc = client.submit(_read(args.file), filename=args.file)
+    elif action == "list":
+        doc = client.analyses()
+    elif action == "get":
+        doc = client.analysis(args.id)
+    elif action == "delete":
+        doc = client.delete(args.id)
+    elif action == "evaluate":
+        env = {}
+        for b in args.bindings:
+            k, sep, v = b.partition("=")
+            try:
+                env[k] = int(v)
+            except ValueError:
+                sep = ""
+            if not sep or not k:
+                raise SystemExit(f"mira client evaluate: bad binding {b!r} "
+                                 f"(expected param=integer)")
+        doc = client.evaluate(args.id, args.function, env,
+                              engine=args.engine)
+    elif action == "sweep":
+        grid = {}
+        for spec in args.param:
+            name, values = _parse_sweep_spec(spec, args.points)
+            grid[name] = values
+        doc = client.sweep(args.id, args.function, grid,
+                           engine=args.engine)
+    elif action == "diff":
+        doc = client.diff(args.id, args.other)
+    elif action == "corpus":
+        if args.files:
+            sources = {os.path.basename(p).rsplit(".", 1)[0]: _read(p)
+                       for p in args.files}
+            doc = client.submit_corpus(sources, jobs=args.jobs)
+        else:
+            names = args.workloads or True
+            doc = client.submit_corpus(corpus=names, jobs=args.jobs)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"mira client: unknown action {action!r}")
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def cmd_arch_template(args) -> int:
     print(default_arch().to_json())
     return 0
@@ -577,6 +672,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="mira",
         description="Mira: static performance analysis "
                     "(CLUSTER'17 reproduction)")
+    ap.add_argument("--version", action="version",
+                    version=f"mira {__version__}")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     def common(p, defines_only: bool = False):
@@ -722,11 +819,86 @@ def main(argv: list[str] | None = None) -> int:
                    help="emit a schema-versioned JSON document")
     p.set_defaults(fn=cmd_fuzz)
 
+    p = sub.add_parser("serve",
+                       help="run the model-serving HTTP API "
+                            "(warm registry over the model cache)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port; 0 picks a free one (default 8321)")
+    p.add_argument("--registry-size", type=int, default=64, metavar="N",
+                   help="warm-model LRU capacity (default 64)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="model cache directory "
+                        "(default ~/.cache/mira/models)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without the on-disk model cache "
+                        "(warm registry only)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every request to stderr")
+    common(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="talk to a running mira serve instance")
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="server base URL (default http://127.0.0.1:8321)")
+    csub = p.add_subparsers(dest="action", required=True)
+
+    c = csub.add_parser("health", help="GET /v1/health")
+    c = csub.add_parser("submit", help="POST a C source for analysis")
+    c.add_argument("file")
+    c = csub.add_parser("list", help="list warm models")
+    c = csub.add_parser("get", help="fetch a stored AnalysisResult")
+    c.add_argument("id")
+    c = csub.add_parser("delete", help="evict a model from the registry")
+    c.add_argument("id")
+    c = csub.add_parser("evaluate", help="one-point model evaluation")
+    c.add_argument("id")
+    c.add_argument("function")
+    c.add_argument("bindings", nargs="*", metavar="param=value")
+    c.add_argument("--engine", default="auto",
+                   choices=("auto", "vector", "scalar"))
+    c = csub.add_parser("sweep", help="grid evaluation of a stored model")
+    c.add_argument("id")
+    c.add_argument("function")
+    c.add_argument("-p", "--param", action="append", required=True,
+                   metavar="NAME=SPEC",
+                   help="sweep axis, same syntax as mira sweep")
+    c.add_argument("--points", type=int, default=5, metavar="K")
+    c.add_argument("--engine", default="auto",
+                   choices=("auto", "vector", "scalar"))
+    c = csub.add_parser("diff", help="symbolic diff of two stored models")
+    c.add_argument("id")
+    c.add_argument("other")
+    c = csub.add_parser("corpus", help="batch-submit sources or workloads")
+    c.add_argument("files", nargs="*", metavar="FILE",
+                   help="sources to submit (default: bundled workloads)")
+    c.add_argument("--workloads", nargs="*", default=None, metavar="NAME",
+                   help="bundled workload subset (default: all)")
+    c.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(fn=cmd_client, json=True)
+
     p = sub.add_parser("arch-template", help="print an arch JSON template")
     p.set_defaults(fn=cmd_arch_template)
 
     args = ap.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except MiraError as exc:
+        # One error shape everywhere: the CLI's --json failures carry the
+        # same {"error": {"type", "message"}} payload the HTTP API sends.
+        # When the failure *is* an HTTP error, pass the server's payload
+        # through unchanged rather than re-wrapping it client-side.
+        doc = getattr(exc, "payload", None)
+        if not (isinstance(doc, dict) and "error" in doc):
+            doc = error_payload(exc)
+        if getattr(args, "json", False):
+            print(json.dumps(_envelope(doc), indent=2))
+        else:
+            err = doc["error"]
+            print(f"mira: {err['type']}: {err['message']}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -297,6 +297,12 @@ class ModelCache:
             return None
 
     def _write(self, path: str, payload: dict) -> None:
+        # Atomic write-rename: the payload is serialized into a uniquely
+        # named temp file in the destination directory, then os.replace'd
+        # over the final path.  Readers therefore only ever observe a
+        # complete payload (old or new, never torn), and any number of
+        # concurrent writers of the same key — server threads, batch
+        # worker processes — safely race to an identical result.
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")
@@ -305,7 +311,10 @@ class ModelCache:
                 json.dump(payload, fh)
             os.replace(tmp, path)
             self.stores += 1
-        except OSError:
+        except (OSError, TypeError, ValueError):
+            # Unwritable directory or a non-JSON-able payload: the cache is
+            # an accelerator, so a failed store degrades to a future miss —
+            # but the temp file must never be left behind as garbage.
             try:
                 os.unlink(tmp)
             except OSError:

@@ -90,6 +90,24 @@ class InterpError(MiraError):
     """Raised by the dynamic-execution substrate (runtime faults)."""
 
 
+class ServeError(MiraError):
+    """Raised by the model-serving subsystem (:mod:`repro.serve`): server
+    configuration problems, client connection failures, and HTTP error
+    responses surfaced by :class:`~repro.serve.client.MiraClient`."""
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The stable machine-readable failure document.
+
+    ``{"error": {"type": <class name>, "message": <str>}}`` — shared by the
+    CLI's ``--json`` failure output and the HTTP server's 4xx/5xx bodies,
+    so every consumer parses one shape.  ``type`` is the concrete
+    :class:`MiraError` subclass name (callers may substitute a transport
+    name like ``"NotFound"`` for non-Mira failures).
+    """
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
 class BatchError(MiraError):
     """Raised by the batch corpus-analysis engine.
 

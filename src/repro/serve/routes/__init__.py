@@ -1,0 +1,8 @@
+"""Per-resource route modules (Hynous MF-13 style: one clean CRUD file per
+resource, each exporting a ``ROUTES`` list of ``(method, path-pattern,
+handler)`` triples that :func:`repro.serve.app.route_table` compiles).
+"""
+
+from . import analyses, corpora, health
+
+__all__ = ["analyses", "corpora", "health"]

@@ -1,0 +1,112 @@
+"""Concurrent-writer safety of the on-disk ModelCache.
+
+The contract under test: stores are atomic write-renames, so any number
+of writers racing on the same content-addressed key — serving threads in
+one process, batch workers across processes — leave readers observing
+only *complete* payloads (one writer's document in full, never a torn
+interleaving), and failed stores never leave temp-file garbage behind.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+from repro.core.batch import ModelCache
+
+KEY = "ab" + "cd" * 19                     # a plausible 40-hex fingerprint
+
+
+def variant_payload(i: int) -> dict:
+    # Distinct but internally consistent documents: `stamp` appears twice,
+    # so a torn read (bytes from two writers) is detectable as a mismatch.
+    return {"ok": True, "writer": i, "stamp": f"writer-{i}",
+            "blob": f"writer-{i} " * 2000, "check": f"writer-{i}"}
+
+
+def assert_complete(payload: dict) -> None:
+    assert payload["stamp"] == payload["check"]
+    assert payload["blob"] == f"{payload['stamp']} " * 2000
+
+
+def test_threaded_writers_and_readers_never_see_torn_payloads(tmp_path):
+    cache = ModelCache(str(tmp_path))
+    stop = threading.Event()
+    seen: list[dict] = []
+    failures: list[str] = []
+
+    def writer(i: int):
+        payload = variant_payload(i)
+        while not stop.is_set():
+            cache.put(KEY, payload)
+
+    def reader():
+        local = ModelCache(str(tmp_path))   # own stats, same directory
+        while not stop.is_set():
+            payload = local.get(KEY)
+            if payload is None:
+                continue
+            try:
+                assert_complete(payload)
+            except AssertionError:
+                failures.append(json.dumps(payload)[:200])
+            seen.append(payload)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    threads += [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    timer = threading.Timer(2.0, stop.set)
+    timer.start()
+    for t in threads:
+        t.join()
+    timer.cancel()
+
+    assert not failures, f"torn payloads observed: {failures[:3]}"
+    assert len(seen) > 100                  # the readers actually read
+    final = cache.get(KEY)
+    assert_complete(final)
+
+
+def test_process_writers_race_to_a_complete_payload(tmp_path):
+    # Real multi-process contention (the batch-worker scenario): every
+    # process hammers the same key; afterwards the entry is one writer's
+    # complete document and no temp files remain.
+    script = """
+import sys
+from repro.core.batch import ModelCache
+cache_dir, writer = sys.argv[1], int(sys.argv[2])
+payload = {"ok": True, "writer": writer, "stamp": f"writer-{writer}",
+           "blob": f"writer-{writer} " * 2000, "check": f"writer-{writer}"}
+cache = ModelCache(cache_dir)
+for _ in range(50):
+    cache.put("%s", payload)
+""" % KEY
+    procs = [subprocess.Popen([sys.executable, "-c", script,
+                               str(tmp_path), str(i)])
+             for i in range(4)]
+    for p in procs:
+        assert p.wait(timeout=120) == 0
+
+    payload = ModelCache(str(tmp_path)).get(KEY)
+    assert_complete(payload)
+    tmp_files = [fn for _, _, fns in os.walk(tmp_path)
+                 for fn in fns if fn.endswith(".tmp")]
+    assert tmp_files == []
+
+
+def test_failed_store_leaves_no_temp_garbage(tmp_path):
+    cache = ModelCache(str(tmp_path))
+    cache.put(KEY, {"unserializable": object()})   # TypeError inside _write
+    assert cache.get(KEY) is None                  # degraded to a miss...
+    leftovers = [fn for _, _, fns in os.walk(tmp_path) for fn in fns]
+    assert leftovers == []                         # ...with no debris
+
+
+def test_failed_store_keeps_the_previous_entry(tmp_path):
+    cache = ModelCache(str(tmp_path))
+    good = variant_payload(1)
+    cache.put(KEY, good)
+    cache.put(KEY, {"bad": object()})
+    assert cache.get(KEY) == good           # the old entry survives intact

@@ -1,0 +1,265 @@
+"""Unit tests for the serving substrate: ModelRegistry tiers and LRU,
+route matching, the shared error payload, and the version envelope.
+
+The registry contract: three tiers (warm LRU -> disk ModelCache -> cold
+pipeline run), where any submission after the first never invokes the
+compiler — counter-asserted through ``STAGE_RUN_COUNTS`` — and warm
+entries evaluate bit-identically to a cold run.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro
+from repro._version import __version__
+from repro.cli import main as cli_main
+from repro.core import AnalysisConfig, Pipeline
+from repro.core.batch import ModelCache
+from repro.core.pipeline import STAGE_RUN_COUNTS, reset_stage_counters
+from repro.errors import MiraError, ParseError, ServeError, error_payload
+from repro.serve import ModelRegistry
+from repro.serve.app import (HTTPError, Request, ServerContext, match_route,
+                             route_table)
+from repro.serve.routes.analyses import request_config
+
+SRC = """\
+double kernel(int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += i * 2.0;
+    return s;
+}
+"""
+
+
+def variant(i: int) -> str:
+    return SRC.replace("2.0", f"{i}.0")
+
+
+def compiles() -> int:
+    return STAGE_RUN_COUNTS.get("compile", 0)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    config = AnalysisConfig(cache_dir=str(tmp_path / "cache"))
+    return ModelRegistry(config, capacity=4)
+
+
+# -- tiers ------------------------------------------------------------------------
+
+def test_cold_then_warm_then_disk(registry):
+    reset_stage_counters()
+    entry, origin = registry.submit(SRC)
+    assert origin == "cold"
+    assert compiles() == 1
+
+    again, origin = registry.submit(SRC)
+    assert origin == "registry"
+    assert again is entry                  # the same warm object
+    assert again.hits == 1
+    assert compiles() == 1                 # no second compile
+
+    registry.evict(entry.key)
+    promoted, origin = registry.submit(SRC)
+    assert origin == "cache"               # disk tier, still no compile
+    assert compiles() == 1
+    assert promoted.key == entry.key
+
+
+def test_disk_promotion_across_registry_instances(registry):
+    entry, _ = registry.submit(SRC)
+    reset_stage_counters()
+    # A fresh registry (fresh process, conceptually) over the same cache
+    # directory serves the model from disk without re-analyzing.
+    fresh = ModelRegistry(registry.config, capacity=4)
+    promoted, origin = fresh.submit(SRC)
+    assert origin == "cache"
+    assert compiles() == 0
+    assert promoted.key == entry.key
+    assert promoted.result.to_dict() == entry.result.to_dict()
+
+
+def test_warm_entry_evaluates_bit_identically(registry):
+    entry, _ = registry.submit(SRC)
+    direct = Pipeline(registry.config).run(SRC)
+    qname = direct._resolve("kernel")
+    for n in (1, 10, 1000):
+        a = entry.result.compiled().evaluate(qname, {"n": n})
+        b = direct.compiled().evaluate(qname, {"n": n})
+        assert a.as_dict() == b.as_dict()
+
+
+def test_fingerprint_is_the_etag_and_id(registry):
+    entry, _ = registry.submit(SRC, filename="kernel.c")
+    key = registry.fingerprint(SRC, registry.config, "kernel.c")
+    assert entry.key == key
+    assert entry.etag == f'"{key}"'
+    # The filename is part of the fingerprint: same bytes, different name,
+    # different resource.
+    assert registry.fingerprint(SRC, registry.config, "other.c") != key
+
+
+# -- LRU --------------------------------------------------------------------------
+
+def test_lru_eviction_is_bounded_and_disk_backed(registry):
+    keys = [registry.submit(variant(i))[0].key for i in range(6)]
+    assert len(registry.ids()) == 4        # capacity bound holds
+    assert registry.evictions == 2
+    # The two oldest fell out of the warm tier...
+    assert keys[0] not in registry.ids()
+    assert keys[1] not in registry.ids()
+    # ...but the disk tier still serves them (and re-promotes).
+    reset_stage_counters()
+    entry, origin = registry.submit(variant(0))
+    assert origin == "cache"
+    assert compiles() == 0
+    assert entry.key == keys[0]
+
+
+def test_lru_order_refreshes_on_hit(registry):
+    keys = [registry.submit(variant(i))[0].key for i in range(4)]
+    registry.submit(variant(0))            # touch the oldest -> newest
+    registry.submit(variant(9))            # evicts variant(1), not 0
+    assert keys[0] in registry.ids()
+    assert keys[1] not in registry.ids()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(MiraError):
+        ModelRegistry(AnalysisConfig(use_cache=False), capacity=0)
+
+
+# -- concurrency ------------------------------------------------------------------
+
+def test_concurrent_identical_submits_run_one_analysis(tmp_path):
+    registry = ModelRegistry(
+        AnalysisConfig(cache_dir=str(tmp_path / "cache")), capacity=4)
+    reset_stage_counters()
+    results = []
+    barrier = threading.Barrier(8)
+
+    def submit():
+        barrier.wait()
+        results.append(registry.submit(SRC))
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(results) == 8
+    assert compiles() == 1                 # the in-flight lock collapsed them
+    origins = sorted(o for _, o in results)
+    assert origins.count("cold") == 1
+    keys = {e.key for e, _ in results}
+    assert len(keys) == 1
+
+
+# -- routing ----------------------------------------------------------------------
+
+def test_match_route_resolves_params():
+    table = route_table()
+    handler, params = match_route(table, "GET", "/v1/analyses/" + "ab" * 16)
+    assert params == {"id": "ab" * 16}
+
+
+def test_match_route_unknown_path_is_404():
+    with pytest.raises(HTTPError) as exc:
+        match_route(route_table(), "GET", "/v1/nope")
+    assert exc.value.status == 404
+    assert exc.value.error_type == "NotFound"
+
+
+def test_match_route_wrong_method_is_405_listing_allowed():
+    with pytest.raises(HTTPError) as exc:
+        match_route(route_table(), "DELETE", "/v1/analyses")
+    assert exc.value.status == 405
+    assert exc.value.error_type == "MethodNotAllowed"
+    assert "GET" in str(exc.value) and "POST" in str(exc.value)
+
+
+def test_request_require_names_the_missing_field():
+    req = Request(method="POST", path="/v1/analyses", body={})
+    with pytest.raises(HTTPError) as exc:
+        req.require("source")
+    assert exc.value.status == 400
+    assert "source" in str(exc.value)
+
+
+# -- request config ---------------------------------------------------------------
+
+def _ctx(tmp_path) -> ServerContext:
+    registry = ModelRegistry(
+        AnalysisConfig(cache_dir=str(tmp_path / "cache")), capacity=4)
+    return ServerContext(registry)
+
+
+def test_request_config_overlays_model_knobs(tmp_path):
+    ctx = _ctx(tmp_path)
+    config = request_config(ctx, {"opt_level": 0,
+                                  "predefined": {"N": "64"},
+                                  "symbolic_params": ["n"]})
+    assert config.opt_level == 0
+    assert dict(config.predefined) == {"N": "64"}
+    assert config.symbolic_params == ("n",)
+    # The server's cache policy is untouched by request configs.
+    assert config.cache_dir == ctx.config.cache_dir
+    assert config.use_cache == ctx.config.use_cache
+
+
+def test_request_config_rejects_cache_fields(tmp_path):
+    ctx = _ctx(tmp_path)
+    with pytest.raises(HTTPError) as exc:
+        request_config(ctx, {"cache_dir": "/tmp/elsewhere"})
+    assert exc.value.status == 400
+    assert "cache_dir" in str(exc.value)
+
+
+def test_request_config_rejects_unknown_arch(tmp_path):
+    with pytest.raises(HTTPError) as exc:
+        request_config(_ctx(tmp_path), {"arch": "m1"})
+    assert exc.value.status == 400
+
+
+# -- the shared error payload -----------------------------------------------------
+
+def test_error_payload_carries_concrete_type():
+    doc = error_payload(ParseError("unexpected token"))
+    assert doc == {"error": {"type": "ParseError",
+                             "message": "unexpected token"}}
+    assert isinstance(ServeError("x"), MiraError)
+
+
+def test_cli_json_failures_use_the_payload(tmp_path, capsys):
+    bad = tmp_path / "bad.c"
+    bad.write_text("int main( {")
+    rc = cli_main(["analyze", str(bad), "--json"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["error"]["type"] == "ParseError"
+    assert doc["version"] == __version__
+
+
+# -- the version envelope ---------------------------------------------------------
+
+def test_single_sourced_version():
+    assert repro.__version__ == __version__
+
+
+def test_cli_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli_main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip() == f"mira {__version__}"
+
+
+def test_json_documents_carry_the_version(tmp_path, capsys):
+    src = tmp_path / "k.c"
+    src.write_text(SRC)
+    assert cli_main(["analyze", str(src), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == __version__
+    assert doc["schema_version"] >= 1
